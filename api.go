@@ -1,0 +1,252 @@
+package gridcma
+
+import (
+	"io"
+
+	"gridcma/internal/cell"
+	"gridcma/internal/cma"
+	"gridcma/internal/etc"
+	"gridcma/internal/experiments"
+	"gridcma/internal/ga"
+	"gridcma/internal/gridsim"
+	"gridcma/internal/heuristics"
+	"gridcma/internal/island"
+	"gridcma/internal/localsearch"
+	"gridcma/internal/operators"
+	"gridcma/internal/pareto"
+	"gridcma/internal/rng"
+	"gridcma/internal/run"
+	"gridcma/internal/sa"
+	"gridcma/internal/schedule"
+	"gridcma/internal/tabu"
+)
+
+// Core problem types.
+type (
+	// Instance is an ETC scheduling problem: an expected-time matrix plus
+	// machine ready times.
+	Instance = etc.Instance
+	// InstanceClass identifies one of the 12 Braun benchmark classes.
+	InstanceClass = etc.Class
+	// Schedule maps each job to a machine.
+	Schedule = schedule.Schedule
+	// State is the incremental evaluator of a schedule.
+	State = schedule.State
+	// Objective is the scalarised bi-objective fitness
+	// λ·makespan + (1−λ)·mean_flowtime.
+	Objective = schedule.Objective
+)
+
+// Run vocabulary shared by every algorithm.
+type (
+	// Budget bounds a run by wall-clock time and/or iterations.
+	Budget = run.Budget
+	// Result is the outcome of one run.
+	Result = run.Result
+	// Progress is one observation of a running search.
+	Progress = run.Progress
+	// Observer receives progress samples.
+	Observer = run.Observer
+)
+
+// Algorithm configuration types.
+type (
+	// CMAConfig is the full configuration of the cellular memetic
+	// algorithm (the paper's Table 1 lives in DefaultCMAConfig).
+	CMAConfig = cma.Config
+	// CMA is the cellular memetic scheduler, the paper's contribution.
+	CMA = cma.Scheduler
+	// GAConfig configures the baseline genetic algorithms.
+	GAConfig = ga.Config
+	// GAVariant selects Braun / steady-state / Struggle GA.
+	GAVariant = ga.Variant
+	// LocalSearchMethod is a bounded improvement procedure (LM, SLM,
+	// LMCTS, ...). Implement it to plug a custom memetic component into
+	// the cMA (see examples/customop).
+	LocalSearchMethod = localsearch.Method
+	// Selector, Crossover and Mutator are the variation operators.
+	Selector  = operators.Selector
+	Crossover = operators.Crossover
+	Mutator   = operators.Mutator
+	// RNG is the deterministic random source used across the library.
+	RNG = rng.Source
+)
+
+// GA variants.
+const (
+	BraunGA       = ga.Braun
+	SteadyStateGA = ga.SteadyState
+	StruggleGA    = ga.Struggle
+	// GSAGA is the genetic simulated annealing hybrid.
+	GSAGA = ga.GSA
+)
+
+// Neighborhood patterns and sweep orders of the cellular grid.
+const (
+	L5        = cell.L5
+	L9        = cell.L9
+	C9        = cell.C9
+	C13       = cell.C13
+	Panmictic = cell.Panmictic
+
+	FLS = cell.FLS
+	FRS = cell.FRS
+	NRS = cell.NRS
+)
+
+// DefaultLambda is the tuned makespan weight (0.75).
+const DefaultLambda = schedule.DefaultLambda
+
+// BenchmarkInstance regenerates one of the 12 Braun benchmark instances by
+// name (e.g. "u_c_hihi.0"); the same name always yields the same instance.
+func BenchmarkInstance(name string) (*Instance, error) {
+	return etc.GenerateByName(name)
+}
+
+// BenchmarkInstanceNames lists the 12 instances of the paper's tables.
+func BenchmarkInstanceNames() []string {
+	return append([]string(nil), experiments.InstanceNames...)
+}
+
+// GenerateInstance builds a fresh instance of a class with explicit
+// dimensions and seed (zero dimensions default to the benchmark's 512×16).
+func GenerateInstance(class InstanceClass, jobs, machs int, seed uint64) *Instance {
+	return etc.Generate(class, 0, etc.GenerateOptions{Jobs: jobs, Machs: machs, Seed: seed})
+}
+
+// ReadInstance parses an instance in the benchmark text format.
+func ReadInstance(r io.Reader) (*Instance, error) { return etc.Read(r) }
+
+// WriteInstance serialises an instance in the benchmark text format.
+func WriteInstance(w io.Writer, in *Instance) error { return etc.Write(w, in) }
+
+// DefaultCMAConfig returns the paper's tuned configuration (Table 1).
+func DefaultCMAConfig() CMAConfig { return cma.DefaultConfig() }
+
+// NewCMA builds the cellular memetic scheduler.
+func NewCMA(cfg CMAConfig) (*CMA, error) { return cma.New(cfg) }
+
+// NewGA builds one of the baseline genetic algorithms with its published
+// configuration.
+func NewGA(v GAVariant) (*ga.Scheduler, error) { return ga.New(ga.NewConfig(v)) }
+
+// NewSA builds the simulated annealing baseline.
+func NewSA() (*sa.Scheduler, error) { return sa.New(sa.DefaultConfig()) }
+
+// NewTabu builds the tabu search baseline.
+func NewTabu() (*tabu.Scheduler, error) { return tabu.New(tabu.DefaultConfig()) }
+
+// Heuristic returns a constructive heuristic by name: "ljfr-sjfr",
+// "minmin", "maxmin", "duplex", "sufferage", "mct", "met" or "olb".
+func Heuristic(name string) (func(*Instance) Schedule, error) {
+	return heuristics.ByName(name)
+}
+
+// HeuristicNames lists the available constructive heuristics.
+func HeuristicNames() []string { return heuristics.Names() }
+
+// LocalSearch resolves a local search method by acronym ("LM", "SLM",
+// "LMCTS", "LMCTS-sampled", "VND", "none").
+func LocalSearch(name string) (LocalSearchMethod, error) { return localsearch.ByName(name) }
+
+// Evaluate computes makespan, flowtime and the default scalarised fitness
+// of a schedule.
+func Evaluate(in *Instance, s Schedule) (makespan, flowtime, fitness float64) {
+	st := schedule.NewState(in, s)
+	return st.Makespan(), st.Flowtime(), schedule.DefaultObjective.Of(st)
+}
+
+// NewState builds the incremental evaluator for s on in.
+func NewState(in *Instance, s Schedule) *State { return schedule.NewState(in, s) }
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Multi-objective extension (the paper's future-work direction).
+type (
+	// ParetoFront is a bounded archive of non-dominated
+	// (makespan, flowtime) solutions.
+	ParetoFront = pareto.Front
+	// ParetoVec is one point in objective space.
+	ParetoVec = pareto.Vec
+	// MOCellConfig configures the cellular multi-objective algorithm.
+	MOCellConfig = pareto.MOConfig
+	// MOCellResult is the outcome of a multi-objective run.
+	MOCellResult = pareto.MOResult
+)
+
+// NewMOCellMA builds the cellular multi-objective memetic algorithm.
+func NewMOCellMA(cfg MOCellConfig) (*pareto.MOCellMA, error) { return pareto.NewMOCellMA(cfg) }
+
+// DefaultMOCellConfig returns the paper-tuned cellular structure with a
+// 100-solution archive.
+func DefaultMOCellConfig() MOCellConfig { return pareto.DefaultMOConfig() }
+
+// LambdaSweep runs the scalarised cMA across a λ grid and merges the
+// results into one non-dominated front.
+func LambdaSweep(in *Instance, base CMAConfig, lambdas []float64, budget Budget, seed uint64, capacity int) (*ParetoFront, error) {
+	return pareto.LambdaSweep(in, base, lambdas, budget, seed, capacity)
+}
+
+// Island (coarse-grained) model.
+type (
+	// IslandConfig configures the ring-migration island model.
+	IslandConfig = island.Config
+)
+
+// DefaultIslandConfig returns 4 islands exchanging 2 migrants every 5
+// iterations.
+func DefaultIslandConfig() IslandConfig { return island.DefaultConfig() }
+
+// NewIsland builds the parallel island-model scheduler.
+func NewIsland(cfg IslandConfig) (*island.Scheduler, error) { return island.New(cfg) }
+
+// CVBOptions parameterises the coefficient-of-variation-based instance
+// generator (for custom-size grids beyond the 512×16 benchmark).
+type CVBOptions = etc.CVBOptions
+
+// GenerateCVBInstance builds an instance with the CVB (gamma) method.
+func GenerateCVBInstance(name string, o CVBOptions) (*Instance, error) {
+	return etc.GenerateCVB(name, o)
+}
+
+// Dynamic grid simulation.
+type (
+	// SimConfig parameterises the discrete-event grid simulator.
+	SimConfig = gridsim.Config
+	// SimMetrics summarises one simulation run.
+	SimMetrics = gridsim.Metrics
+	// SimPolicy produces a schedule for each batch activation.
+	SimPolicy = gridsim.Policy
+	// SimPolicyFunc adapts a function to SimPolicy.
+	SimPolicyFunc = gridsim.PolicyFunc
+)
+
+// DefaultSimConfig returns a moderate dynamic-grid scenario.
+func DefaultSimConfig() SimConfig { return gridsim.DefaultConfig() }
+
+// Simulate runs the dynamic grid simulator with the given policy.
+func Simulate(cfg SimConfig, p SimPolicy) (SimMetrics, error) { return gridsim.Simulate(cfg, p) }
+
+// BatchPolicy wraps any budgeted algorithm (cMA, GA, SA, tabu) as a
+// dynamic scheduling policy: at every activation the algorithm runs on the
+// snapshot instance within the given budget — exactly the deployment mode
+// the paper proposes for real grids.
+func BatchPolicy(name string, alg interface {
+	Run(*Instance, Budget, uint64, Observer) Result
+}, budget Budget) SimPolicy {
+	return gridsim.PolicyFunc{PolicyName: name, Fn: func(in *Instance, seed uint64) Schedule {
+		return alg.Run(in, budget, seed, nil).Best
+	}}
+}
+
+// HeuristicPolicy wraps a constructive heuristic as a dynamic policy.
+func HeuristicPolicy(name string) (SimPolicy, error) {
+	h, err := heuristics.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return gridsim.PolicyFunc{PolicyName: name, Fn: func(in *Instance, _ uint64) Schedule {
+		return h(in)
+	}}, nil
+}

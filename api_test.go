@@ -1,0 +1,211 @@
+package gridcma_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gridcma"
+)
+
+func TestBenchmarkInstanceNamesAndGeneration(t *testing.T) {
+	names := gridcma.BenchmarkInstanceNames()
+	if len(names) != 12 {
+		t.Fatalf("%d names", len(names))
+	}
+	for _, n := range names {
+		in, err := gridcma.BenchmarkInstance(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if in.Jobs != 512 || in.Machs != 16 {
+			t.Errorf("%s: %d×%d", n, in.Jobs, in.Machs)
+		}
+	}
+	if _, err := gridcma.BenchmarkInstance("bogus"); err == nil {
+		t.Error("bogus name accepted")
+	}
+}
+
+func TestGenerateInstanceCustomDims(t *testing.T) {
+	class := gridcma.InstanceClass{} // zero value: inconsistent, low, low
+	in := gridcma.GenerateInstance(class, 64, 8, 42)
+	if in.Jobs != 64 || in.Machs != 8 {
+		t.Fatalf("dims %d×%d", in.Jobs, in.Machs)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceIORoundTripThroughFacade(t *testing.T) {
+	in := gridcma.GenerateInstance(gridcma.InstanceClass{}, 10, 4, 1)
+	var buf bytes.Buffer
+	if err := gridcma.WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gridcma.ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Jobs != 10 || got.Machs != 4 {
+		t.Fatalf("dims %d×%d", got.Jobs, got.Machs)
+	}
+}
+
+func TestHeuristicFacade(t *testing.T) {
+	in, _ := gridcma.BenchmarkInstance("u_c_lolo.0")
+	for _, n := range gridcma.HeuristicNames() {
+		h, err := gridcma.Heuristic(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		s := h(in)
+		ms, ft, fit := gridcma.Evaluate(in, s)
+		if ms <= 0 || ft <= 0 || fit <= 0 {
+			t.Errorf("%s: non-positive objectives", n)
+		}
+		if ms > ft {
+			t.Errorf("%s: makespan %v exceeds flowtime %v", n, ms, ft)
+		}
+	}
+	if _, err := gridcma.Heuristic("nope"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestCMAThroughFacade(t *testing.T) {
+	in, _ := gridcma.BenchmarkInstance("u_s_lolo.0")
+	cfg := gridcma.DefaultCMAConfig()
+	if cfg.Objective.Lambda != gridcma.DefaultLambda {
+		t.Error("default lambda mismatch")
+	}
+	sched, err := gridcma.NewCMA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	res := sched.Run(in, gridcma.Budget{MaxIterations: 8}, 1, func(p gridcma.Progress) { seen++ })
+	if seen != 9 {
+		t.Errorf("observer called %d times", seen)
+	}
+	if err := res.Best.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	ms, ft, fit := gridcma.Evaluate(in, res.Best)
+	if ms != res.Makespan || ft != res.Flowtime || fit != res.Fitness {
+		t.Errorf("result fields inconsistent with re-evaluation: (%v,%v,%v) vs (%v,%v,%v)",
+			res.Makespan, res.Flowtime, res.Fitness, ms, ft, fit)
+	}
+}
+
+func TestGAFacadeVariants(t *testing.T) {
+	in, _ := gridcma.BenchmarkInstance("u_i_lolo.0")
+	for _, v := range []gridcma.GAVariant{gridcma.BraunGA, gridcma.SteadyStateGA, gridcma.StruggleGA} {
+		g, err := gridcma.NewGA(v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		res := g.Run(in, gridcma.Budget{MaxIterations: 3}, 1, nil)
+		if err := res.Best.Validate(in); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestSATabuFacade(t *testing.T) {
+	in, _ := gridcma.BenchmarkInstance("u_c_hilo.0")
+	s, err := gridcma.NewSA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := s.Run(in, gridcma.Budget{MaxIterations: 3}, 1, nil); res.Best == nil {
+		t.Error("SA returned no schedule")
+	}
+	tb, err := gridcma.NewTabu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tb.Run(in, gridcma.Budget{MaxIterations: 3}, 1, nil); res.Best == nil {
+		t.Error("tabu returned no schedule")
+	}
+}
+
+func TestLocalSearchFacade(t *testing.T) {
+	for _, n := range []string{"LM", "SLM", "LMCTS", "VND", "none"} {
+		if _, err := gridcma.LocalSearch(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := gridcma.LocalSearch("zzz"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestStateFacade(t *testing.T) {
+	in, _ := gridcma.BenchmarkInstance("u_c_lolo.0")
+	r := gridcma.NewRNG(3)
+	s := make(gridcma.Schedule, in.Jobs)
+	for j := range s {
+		s[j] = r.Intn(in.Machs)
+	}
+	st := gridcma.NewState(in, s)
+	before := st.Makespan()
+	st.Move(0, (s[0]+1)%in.Machs)
+	st.Move(0, s[0])
+	if st.Makespan() != before {
+		t.Error("move/revert changed makespan")
+	}
+}
+
+func TestSimulationFacade(t *testing.T) {
+	cfg := gridcma.DefaultSimConfig()
+	cfg.Horizon = 150
+	cfg.JoinRate, cfg.LeaveRate = 0, 0
+	p, err := gridcma.HeuristicPolicy("minmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gridcma.Simulate(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsCompleted == 0 {
+		t.Error("no jobs completed")
+	}
+	if _, err := gridcma.HeuristicPolicy("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestBatchPolicyFacade(t *testing.T) {
+	sched, err := gridcma.NewCMA(gridcma.DefaultCMAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gridcma.BatchPolicy("cma", sched, gridcma.Budget{MaxIterations: 2})
+	if p.Name() != "cma" {
+		t.Errorf("name %q", p.Name())
+	}
+	cfg := gridcma.DefaultSimConfig()
+	cfg.Horizon = 60
+	cfg.ActivationInterval = 20
+	cfg.JoinRate, cfg.LeaveRate = 0, 0
+	m, err := gridcma.Simulate(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Activations == 0 {
+		t.Error("no activations")
+	}
+}
+
+func TestBudgetSemantics(t *testing.T) {
+	b := gridcma.Budget{MaxTime: time.Millisecond}
+	if !b.Bounded() {
+		t.Error("time budget should be bounded")
+	}
+	if (gridcma.Budget{}).Bounded() {
+		t.Error("zero budget should be unbounded")
+	}
+}

@@ -1,0 +1,81 @@
+// Command etcgen generates ETC benchmark instances in the text format the
+// rest of the tooling consumes.
+//
+//	etcgen -name u_c_hihi.0                 # one canonical instance to stdout
+//	etcgen -all -dir ./instances            # the full 12-instance suite
+//	etcgen -class u_i_hilo -k 3 -jobs 1024 -machs 32 -seed 7 -o big.etc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/experiments"
+)
+
+func main() {
+	var (
+		name  = flag.String("name", "", "canonical instance name (u_x_yyzz.k); seed derived from the name")
+		class = flag.String("class", "", "class prefix (e.g. u_c_hihi) for custom generation")
+		k     = flag.Int("k", 0, "trial index for -class")
+		jobs  = flag.Int("jobs", 0, "number of jobs (default 512)")
+		machs = flag.Int("machs", 0, "number of machines (default 16)")
+		seed  = flag.Uint64("seed", 1, "RNG seed for -class")
+		out   = flag.String("o", "", "output file (default stdout)")
+		all   = flag.Bool("all", false, "generate the full 12-instance benchmark suite")
+		dir   = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, n := range experiments.InstanceNames {
+			in, err := etc.GenerateByName(n)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*dir, n+".etc")
+			if err := etc.WriteFile(path, in); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	case *name != "":
+		in, err := etc.GenerateByName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		emit(in, *out)
+	case *class != "":
+		c, _, err := etc.ParseClass(*class + ".0")
+		if err != nil {
+			fatal(err)
+		}
+		in := etc.Generate(c, *k, etc.GenerateOptions{Jobs: *jobs, Machs: *machs, Seed: *seed})
+		emit(in, *out)
+	default:
+		fmt.Fprintln(os.Stderr, "etcgen: need one of -name, -class or -all (see -h)")
+		os.Exit(2)
+	}
+}
+
+func emit(in *etc.Instance, out string) {
+	if out == "" {
+		if err := etc.Write(os.Stdout, in); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := etc.WriteFile(out, in); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "etcgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section.
+//
+//	experiments -run table4                  # quick, iteration-bounded
+//	experiments -run all -iters 60 -runs 5   # scaled protocol
+//	experiments -run table2 -full            # the paper's 90 s × 10 runs
+//	experiments -run fig3 -csv out/          # also dump CSV series
+//
+// Experiments: table1 table2 table3 table4 table5 fig2 fig3 fig4 fig5
+// robustness all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gridcma/internal/experiments"
+	"gridcma/internal/run"
+)
+
+func main() {
+	var (
+		what    = flag.String("run", "all", "which experiment to run")
+		full    = flag.Bool("full", false, "use the paper's protocol: 90s wall-clock × 10 runs")
+		iters   = flag.Int("iters", 40, "cMA iteration budget (ignored with -full)")
+		runs    = flag.Int("runs", 3, "independent runs per algorithm/instance (ignored with -full)")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		maxTime = flag.Duration("time", 0, "wall-clock budget per run (overrides -iters)")
+		csvDir  = flag.String("csv", "", "directory to also write CSV output into")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Budget: run.Budget{MaxIterations: *iters}, Runs: *runs, Seed: *seed}
+	if *maxTime > 0 {
+		o.Budget = run.Budget{MaxTime: *maxTime}
+	}
+	if *full {
+		o = experiments.Full()
+		o.Seed = *seed
+	}
+	if err := o.Validate(); err != nil {
+		fatal(err)
+	}
+
+	runner := func(id string) bool { return *what == "all" || *what == id }
+	ran := false
+
+	emit := func(id, title string, headers []string, rows [][]string) {
+		ran = true
+		fmt.Printf("== %s — %s ==\n", id, title)
+		fmt.Println(experiments.FormatTable(headers, rows))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteCSV(f, headers, rows); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("csv written to", path)
+		}
+		fmt.Println()
+	}
+
+	start := time.Now()
+	if runner("table1") {
+		h, c := experiments.Table1Cells(experiments.Table1())
+		emit("table1", "tuned cMA configuration", h, c)
+	}
+	if runner("table2") {
+		h, c := experiments.Table2Cells(experiments.Table2(o))
+		emit("table2", "best makespan: Braun et al. GA vs cMA", h, c)
+	}
+	if runner("table3") {
+		h, c := experiments.Table3Cells(experiments.Table3(o))
+		emit("table3", "best makespan: Carretero–Xhafa GA, Struggle GA vs cMA", h, c)
+	}
+	if runner("table4") {
+		h, c := experiments.Table4Cells(experiments.Table4(o))
+		emit("table4", "flowtime: LJFR-SJFR vs cMA", h, c)
+	}
+	if runner("table5") {
+		h, c := experiments.Table5Cells(experiments.Table5(o))
+		emit("table5", "flowtime: Struggle GA vs cMA", h, c)
+	}
+	figs := map[string]struct {
+		title string
+		fn    func(experiments.Options) []experiments.Series
+	}{
+		"fig2": {"makespan reduction per local search method", experiments.Figure2},
+		"fig3": {"makespan reduction per neighborhood pattern", experiments.Figure3},
+		"fig4": {"makespan reduction per tournament size", experiments.Figure4},
+		"fig5": {"makespan reduction per sweep order", experiments.Figure5},
+	}
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig5"} {
+		if !runner(id) {
+			continue
+		}
+		series := figs[id].fn(o)
+		hs, cs := experiments.SeriesSummaryCells(series)
+		emit(id, figs[id].title, hs, cs)
+		if *csvDir != "" {
+			hl, cl := experiments.SeriesCells(series)
+			path := filepath.Join(*csvDir, id+"_series.csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteCSV(f, hl, cl); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Println("series csv written to", path)
+		}
+	}
+	if runner("robustness") {
+		h, c := experiments.RobustnessCells(experiments.Robustness(o))
+		emit("robustness", "cMA makespan spread across runs (§5.1)", h, c)
+	}
+	if runner("heuristics") {
+		h, c := experiments.HeuristicsCells(experiments.HeuristicsTable())
+		emit("heuristics", "constructive heuristic makespans (baseline panorama)", h, c)
+	}
+	if runner("takeover") {
+		curves, err := experiments.TakeoverStudy(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		h, c := experiments.TakeoverCells(curves)
+		emit("takeover", "selection pressure per neighborhood (takeover analysis)", h, c)
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *what))
+	}
+	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,212 @@
+// Command gridsched runs one scheduler on one ETC instance and prints the
+// resulting schedule quality. It is the single-shot face of the library:
+//
+//	gridsched -instance u_c_hihi.0 -alg cma -time 5s
+//	gridsched -file my.etc -alg minmin
+//	gridsched -instance u_i_lolo.0 -alg struggle-ga -iters 2000 -runs 5
+//
+// Algorithms: cma, cma-sync, island, braun-ga, ss-ga, struggle-ga, gsa,
+// sa, tabu, plus every constructive heuristic (ljfr-sjfr, minmin, maxmin,
+// duplex, sufferage, mct, met, olb, kpb). Add -gantt for an ASCII
+// timeline of the best schedule and -export FILE for a CSV dump.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gridcma/internal/cma"
+	"gridcma/internal/config"
+	"gridcma/internal/etc"
+	"gridcma/internal/experiments"
+	"gridcma/internal/ga"
+	"gridcma/internal/heuristics"
+	"gridcma/internal/island"
+	"gridcma/internal/run"
+	"gridcma/internal/sa"
+	"gridcma/internal/schedule"
+	"gridcma/internal/stats"
+	"gridcma/internal/tabu"
+)
+
+func main() {
+	var (
+		instName = flag.String("instance", "", "benchmark instance name (e.g. u_c_hihi.0)")
+		file     = flag.String("file", "", "instance file in benchmark text format")
+		alg      = flag.String("alg", "cma", "algorithm to run")
+		maxTime  = flag.Duration("time", 0, "wall-clock budget (e.g. 90s)")
+		iters    = flag.Int("iters", 0, "iteration budget (used when -time is 0; default 100)")
+		runs     = flag.Int("runs", 1, "independent runs (best reported)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		verbose  = flag.Bool("v", false, "print progress every iteration")
+		list     = flag.Bool("list", false, "list algorithms and instances, then exit")
+		gantt    = flag.Bool("gantt", false, "render an ASCII gantt of the best schedule")
+		export   = flag.String("export", "", "write the best schedule's assignments as CSV to this file")
+		cfgPath  = flag.String("config", "", "JSON cMA configuration file (only with -alg cma)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("metaheuristics: cma cma-sync island braun-ga ss-ga struggle-ga gsa sa tabu")
+		fmt.Println("heuristics:    ", heuristics.Names())
+		fmt.Println("instances:     ", experiments.InstanceNames)
+		return
+	}
+
+	in, err := loadInstance(*instName, *file)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Constructive heuristics are deterministic one-shots.
+	if h, herr := heuristics.ByName(*alg); herr == nil {
+		s := h(in)
+		st := schedule.NewState(in, s)
+		fmt.Printf("instance  %s (%d jobs × %d machines)\n", in.Name, in.Jobs, in.Machs)
+		fmt.Printf("algorithm %s\n", *alg)
+		fmt.Printf("makespan  %.3f\nflowtime  %.3f\nfitness   %.3f\n",
+			st.Makespan(), st.Flowtime(), schedule.DefaultObjective.Of(st))
+		finish(st, *gantt, *export)
+		return
+	}
+
+	a, err := buildAlgorithm(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	if *cfgPath != "" {
+		if *alg != "cma" {
+			fatal(fmt.Errorf("-config applies only to -alg cma"))
+		}
+		cfg, err := config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		if a, err = cma.New(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	budget := run.Budget{MaxTime: *maxTime, MaxIterations: *iters}
+	if !budget.Bounded() {
+		budget.MaxIterations = 100
+	}
+
+	var obs run.Observer
+	if *verbose {
+		obs = func(p run.Progress) {
+			fmt.Printf("  iter %4d  %8.2fs  fitness %.3f  makespan %.3f\n",
+				p.Iteration, p.Elapsed.Seconds(), p.Fitness, p.Makespan)
+		}
+	}
+
+	fmt.Printf("instance  %s (%d jobs × %d machines)\n", in.Name, in.Jobs, in.Machs)
+	fmt.Printf("algorithm %s, %d run(s), budget %s\n", a.Name(), *runs, budgetString(budget))
+	start := time.Now()
+	results := make([]run.Result, *runs)
+	for k := range results {
+		o := obs
+		if k > 0 {
+			o = nil // progress only for the first run
+		}
+		results[k] = a.Run(in, budget, *seed+uint64(k), o)
+	}
+	best := results[0]
+	ms := make([]float64, len(results))
+	for i, r := range results {
+		ms[i] = r.Makespan
+		if r.Better(best) {
+			best = r
+		}
+	}
+	fmt.Printf("elapsed   %.2fs (%d logical CPUs)\n", time.Since(start).Seconds(), runtime.NumCPU())
+	fmt.Printf("best makespan  %.3f\nbest flowtime  %.3f\nbest fitness   %.3f\n",
+		best.Makespan, best.Flowtime, best.Fitness)
+	if *runs > 1 {
+		sum := stats.Summarize(ms)
+		fmt.Printf("makespan over %d runs: mean %.3f std %.3f (%.2f%%)\n",
+			*runs, sum.Mean, sum.Std, 100*sum.RelStd())
+	}
+	finish(schedule.NewState(in, best.Best), *gantt, *export)
+}
+
+// finish handles the optional gantt rendering and CSV export of a final
+// evaluated schedule.
+func finish(st *schedule.State, gantt bool, export string) {
+	if gantt {
+		fmt.Println()
+		fmt.Print(st.Gantt(64))
+		_, _, imb := st.LoadSummary()
+		fmt.Printf("load imbalance (max/mean completion): %.3f\n", imb)
+	}
+	if export != "" {
+		f, err := os.Create(export)
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.WriteAssignments(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("assignments written to", export)
+	}
+}
+
+func loadInstance(name, file string) (*etc.Instance, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("specify only one of -instance and -file")
+	case file != "":
+		return etc.ReadFile(file)
+	case name != "":
+		return etc.GenerateByName(name)
+	default:
+		return etc.GenerateByName("u_c_hihi.0")
+	}
+}
+
+// buildAlgorithm maps a CLI name to a configured scheduler.
+func buildAlgorithm(name string) (experiments.Algorithm, error) {
+	switch name {
+	case "cma":
+		return cma.New(cma.DefaultConfig())
+	case "cma-sync":
+		cfg := cma.DefaultConfig()
+		cfg.Synchronous = true
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		return cma.New(cfg)
+	case "braun-ga":
+		return ga.New(ga.NewConfig(ga.Braun))
+	case "ss-ga":
+		return ga.New(ga.NewConfig(ga.SteadyState))
+	case "struggle-ga":
+		return ga.New(ga.NewConfig(ga.Struggle))
+	case "gsa":
+		return ga.New(ga.NewConfig(ga.GSA))
+	case "island":
+		return island.New(island.DefaultConfig())
+	case "sa":
+		return sa.New(sa.DefaultConfig())
+	case "tabu":
+		return tabu.New(tabu.DefaultConfig())
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (try -list)", name)
+	}
+}
+
+func budgetString(b run.Budget) string {
+	if b.MaxTime > 0 {
+		return b.MaxTime.String()
+	}
+	return fmt.Sprintf("%d iterations", b.MaxIterations)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridsched:", err)
+	os.Exit(1)
+}

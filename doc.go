@@ -1,0 +1,28 @@
+// Package gridcma is a Go reproduction of "Efficient Batch Job Scheduling
+// in Grids using Cellular Memetic Algorithms" (Xhafa, Alba, Dorronsoro —
+// IPDPS/IPPS 2007).
+//
+// The library implements the paper's cellular memetic algorithm (cMA) for
+// scheduling independent jobs on heterogeneous computational grids under
+// the ETC (Expected Time to Compute) model, together with everything the
+// paper's evaluation depends on: the Braun et al. benchmark generator, the
+// LJFR-SJFR and Min-Min style constructive heuristics, the three baseline
+// genetic algorithms (Braun GA, steady-state GA, Struggle GA), simulated
+// annealing and tabu search, a discrete-event dynamic grid simulator, and
+// an experiment harness that regenerates every table and figure of the
+// paper's evaluation section.
+//
+// This root package is the stable facade: it re-exports the types and
+// constructors an application needs, so downstream users never import the
+// internal packages directly.
+//
+// Quick start:
+//
+//	in, _ := gridcma.BenchmarkInstance("u_c_hihi.0")
+//	sched, _ := gridcma.NewCMA(gridcma.DefaultCMAConfig())
+//	res := sched.Run(in, gridcma.Budget{MaxTime: 2 * time.Second}, 1, nil)
+//	fmt.Println(res.Makespan, res.Flowtime)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package gridcma

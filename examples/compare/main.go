@@ -1,0 +1,81 @@
+// Compare: run every scheduler in the library — eight constructive
+// heuristics, three genetic algorithms, simulated annealing, tabu search
+// and the cellular memetic algorithm — on one benchmark instance and rank
+// them. This is the "which scheduler should I use" tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"gridcma"
+)
+
+type row struct {
+	name     string
+	makespan float64
+	flowtime float64
+	fitness  float64
+	elapsed  time.Duration
+}
+
+func main() {
+	in, err := gridcma.BenchmarkInstance("u_s_hihi.0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %s: %d jobs × %d machines\n\n", in.Name, in.Jobs, in.Machs)
+	budget := gridcma.Budget{MaxTime: time.Second}
+	var rows []row
+
+	// Constructive heuristics (deterministic, effectively instant).
+	for _, name := range gridcma.HeuristicNames() {
+		h, err := gridcma.Heuristic(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		s := h(in)
+		ms, ft, fit := gridcma.Evaluate(in, s)
+		rows = append(rows, row{name, ms, ft, fit, time.Since(start)})
+	}
+
+	// Metaheuristics, one second of wall clock each.
+	type alg interface {
+		Name() string
+		Run(*gridcma.Instance, gridcma.Budget, uint64, gridcma.Observer) gridcma.Result
+	}
+	var metas []alg
+	cmaSched, err := gridcma.NewCMA(gridcma.DefaultCMAConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	metas = append(metas, cmaSched)
+	for _, v := range []gridcma.GAVariant{gridcma.BraunGA, gridcma.SteadyStateGA, gridcma.StruggleGA, gridcma.GSAGA} {
+		g, err := gridcma.NewGA(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metas = append(metas, g)
+	}
+	if s, err := gridcma.NewSA(); err == nil {
+		metas = append(metas, s)
+	}
+	if t, err := gridcma.NewTabu(); err == nil {
+		metas = append(metas, t)
+	}
+	for _, m := range metas {
+		res := m.Run(in, budget, 1, nil)
+		rows = append(rows, row{m.Name(), res.Makespan, res.Flowtime, res.Fitness, res.Elapsed})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].fitness < rows[j].fitness })
+	fmt.Printf("%-15s %14s %18s %16s %10s\n", "algorithm", "makespan", "flowtime", "fitness", "elapsed")
+	for _, r := range rows {
+		fmt.Printf("%-15s %14.1f %18.1f %16.1f %10s\n",
+			r.name, r.makespan, r.flowtime, r.fitness, r.elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("\nbest by fitness: %s\n", rows[0].name)
+}

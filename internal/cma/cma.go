@@ -1,0 +1,408 @@
+// Package cma implements the paper's contribution: a Cellular Memetic
+// Algorithm (cMA) for batch scheduling of independent jobs on
+// heterogeneous grids, following Algorithm 1 of the paper.
+//
+// The population lives on a toroidal 2-D grid. Each iteration performs
+// nb_recombinations recombination updates and nb_mutations mutation
+// updates; the two processes walk the grid with independent sweep orders
+// (Table 1: FLS for recombination, NRS for mutation). Every offspring is
+// improved by a local search method before evaluation and replaces the
+// individual at its cell only if strictly better ("add only if better").
+//
+// Two updating disciplines are provided:
+//
+//   - Asynchronous (the paper's choice): updates are applied in sweep
+//     order within the iteration, so later cells see earlier replacements.
+//   - Synchronous: all offspring of an iteration are computed against the
+//     frozen current generation and committed together at the end. Because
+//     cells are then independent, the engine evaluates them in parallel
+//     across Workers goroutines with per-cell deterministic RNG streams —
+//     results are reproducible regardless of scheduling.
+package cma
+
+import (
+	"fmt"
+	"time"
+
+	"gridcma/internal/cell"
+	"gridcma/internal/etc"
+	"gridcma/internal/heuristics"
+	"gridcma/internal/localsearch"
+	"gridcma/internal/operators"
+	"gridcma/internal/rng"
+	"gridcma/internal/run"
+	"gridcma/internal/schedule"
+)
+
+// Config collects every tunable of the cMA. DefaultConfig returns the
+// paper's Table 1 values; zero-value fields in a hand-built Config are
+// rejected by Validate rather than silently defaulted.
+type Config struct {
+	Width, Height int // population grid shape (Table 1: 5×5)
+
+	Pattern     cell.Pattern // neighborhood (Table 1: C9)
+	RecombOrder cell.Order   // sweep order of the recombination pass (FLS)
+	MutOrder    cell.Order   // sweep order of the mutation pass (NRS)
+
+	Recombinations       int // recombination updates per iteration (25)
+	Mutations            int // mutation updates per iteration (12)
+	SolutionsToRecombine int // |S| in SelectToRecombine (3)
+
+	Selector  operators.Selector  // parent selection (3-Tournament)
+	Crossover operators.Crossover // recombination (One-Point)
+	Mutator   operators.Mutator   // mutation (Rebalance)
+
+	LocalSearch  localsearch.Method // offspring improvement (LMCTS)
+	LSIterations int                // local search budget per offspring (5)
+
+	Objective schedule.Objective // fitness (λ = 0.75)
+
+	// AddOnlyIfBetter controls replacement: if true (the paper's setting)
+	// an offspring replaces its cell only when strictly fitter.
+	AddOnlyIfBetter bool
+
+	// SeedHeuristic builds individual 0; the rest of the population are
+	// perturbed copies. Nil seeds the whole population randomly.
+	SeedHeuristic func(*etc.Instance) schedule.Schedule
+	// PerturbFraction is the fraction of genes randomised when deriving
+	// the initial population from the seed individual (0.3 by default).
+	PerturbFraction float64
+
+	// Synchronous switches to generation-synchronous updating.
+	Synchronous bool
+	// Workers bounds the goroutines used in synchronous mode; 0 means
+	// one (sequential). Asynchronous mode is inherently sequential and
+	// ignores it.
+	Workers int
+}
+
+// DefaultConfig returns the tuned configuration of Table 1.
+func DefaultConfig() Config {
+	return Config{
+		Width: 5, Height: 5,
+		Pattern:              cell.C9,
+		RecombOrder:          cell.FLS,
+		MutOrder:             cell.NRS,
+		Recombinations:       25,
+		Mutations:            12,
+		SolutionsToRecombine: 3,
+		Selector:             operators.NewTournament(3),
+		Crossover:            operators.OnePoint{},
+		Mutator:              operators.DefaultRebalance,
+		LocalSearch:          localsearch.LMCTS{},
+		LSIterations:         5,
+		Objective:            schedule.DefaultObjective,
+		AddOnlyIfBetter:      true,
+		SeedHeuristic:        heuristics.LJFRSJFR, // Table 1 "start choice"
+		PerturbFraction:      0.3,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Width <= 0 || c.Height <= 0:
+		return fmt.Errorf("cma: invalid grid %dx%d", c.Width, c.Height)
+	case c.Recombinations < 0 || c.Mutations < 0:
+		return fmt.Errorf("cma: negative update counts")
+	case c.Recombinations == 0 && c.Mutations == 0:
+		return fmt.Errorf("cma: no updates per iteration")
+	case c.SolutionsToRecombine < 2:
+		return fmt.Errorf("cma: SolutionsToRecombine = %d, need >= 2", c.SolutionsToRecombine)
+	case c.Selector == nil:
+		return fmt.Errorf("cma: nil Selector")
+	case c.Crossover == nil:
+		return fmt.Errorf("cma: nil Crossover")
+	case c.Mutator == nil:
+		return fmt.Errorf("cma: nil Mutator")
+	case c.LocalSearch == nil:
+		return fmt.Errorf("cma: nil LocalSearch")
+	case c.LSIterations < 0:
+		return fmt.Errorf("cma: negative LSIterations")
+	case c.Objective.Lambda < 0 || c.Objective.Lambda > 1:
+		return fmt.Errorf("cma: lambda %v outside [0,1]", c.Objective.Lambda)
+	case c.PerturbFraction < 0 || c.PerturbFraction > 1:
+		return fmt.Errorf("cma: PerturbFraction %v outside [0,1]", c.PerturbFraction)
+	case c.Workers < 0:
+		return fmt.Errorf("cma: negative Workers")
+	}
+	return nil
+}
+
+// Scheduler is a reusable cMA instance bound to a configuration.
+type Scheduler struct {
+	cfg Config
+}
+
+// New returns a Scheduler after validating cfg. A nil SeedHeuristic means
+// a fully random initial population; DefaultConfig seeds with LJFR-SJFR as
+// the paper does.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg}, nil
+}
+
+// Config returns the scheduler's configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Name identifies the algorithm in results.
+func (s *Scheduler) Name() string {
+	if s.cfg.Synchronous {
+		return "cMA-sync"
+	}
+	return "cMA"
+}
+
+// Run executes the cMA on instance in with the given budget and RNG seed,
+// reporting progress to obs (which may be nil).
+func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer) run.Result {
+	if !budget.Bounded() {
+		panic("cma: unbounded budget")
+	}
+	e := newEngine(in, s.cfg, seed, nil)
+	return e.run(budget, obs, s.Name())
+}
+
+// RunWithPopulation is Run, but the mesh is seeded from initial (cloned;
+// truncated or padded with perturbed copies of its first element as
+// needed) and the final population is returned alongside the result. It
+// is the migration hook of the coarse-grained island model
+// (internal/island): islands export their populations at segment
+// boundaries, exchange individuals, and resume.
+func (s *Scheduler) RunWithPopulation(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer, initial []schedule.Schedule) (run.Result, []schedule.Schedule) {
+	if !budget.Bounded() {
+		panic("cma: unbounded budget")
+	}
+	e := newEngine(in, s.cfg, seed, initial)
+	res := e.run(budget, obs, s.Name())
+	final := make([]schedule.Schedule, len(e.pop))
+	for i, st := range e.pop {
+		final[i] = st.Schedule()
+	}
+	return res, final
+}
+
+// CellComponents exposes the cellular plumbing of a configuration — the
+// population size, per-cell neighbor lists and the two sweep orders — so
+// extension algorithms (e.g. the multi-objective variant in
+// internal/pareto) can share the exact population structure without
+// depending on the engine's internals. It consumes two values from r.
+func CellComponents(cfg Config, r *rng.Source) (size int, neighborhoods [][]int, recOrder, mutOrder cell.SweepOrder) {
+	g := cell.NewGrid(cfg.Width, cfg.Height)
+	nb := cell.NewNeighborhood(g, cfg.Pattern)
+	n := g.Size()
+	return n, nb.Of, cell.NewSweep(cfg.RecombOrder, n, r.Split()), cell.NewSweep(cfg.MutOrder, n, r.Split())
+}
+
+// engine is the mutable state of one run.
+type engine struct {
+	in     *etc.Instance
+	cfg    Config
+	r      *rng.Source
+	seed   uint64
+	grid   cell.Grid
+	nb     *cell.Neighborhood
+	pop    []*schedule.State
+	fit    []float64
+	recOrd cell.SweepOrder
+	mutOrd cell.SweepOrder
+
+	// scratch buffers reused across updates
+	child   schedule.Schedule
+	scratch *schedule.State
+	syncCtx map[int]*workerCtx // per-worker scratch for synchronous mode
+	evals   int64
+
+	// best-ever (the population best is monotone under add-if-better,
+	// but we track explicitly to also support AddOnlyIfBetter=false).
+	best    schedule.Schedule
+	bestFit float64
+	bestMS  float64
+	bestFT  float64
+}
+
+func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Schedule) *engine {
+	e := &engine{
+		in:   in,
+		cfg:  cfg,
+		r:    rng.New(seed),
+		seed: seed,
+		grid: cell.NewGrid(cfg.Width, cfg.Height),
+	}
+	e.nb = cell.NewNeighborhood(e.grid, cfg.Pattern)
+	n := e.grid.Size()
+	e.pop = make([]*schedule.State, n)
+	e.fit = make([]float64, n)
+	e.recOrd = cell.NewSweep(cfg.RecombOrder, n, e.r.Split())
+	e.mutOrd = cell.NewSweep(cfg.MutOrder, n, e.r.Split())
+	e.child = make(schedule.Schedule, in.Jobs)
+
+	e.initPopulation(initial)
+	return e
+}
+
+// initPopulation builds the initial mesh. With an explicit initial
+// population (migration resume), individuals are cloned from it, padding
+// with perturbed copies of its first element when it is short. Otherwise
+// the mesh is the seed heuristic individual plus perturbed copies (or
+// all-random when no seed heuristic). In every case — per Algorithm 1 —
+// local search improves each individual before the first evaluation.
+func (e *engine) initPopulation(initial []schedule.Schedule) {
+	var base schedule.Schedule
+	if len(initial) > 0 {
+		base = initial[0]
+	} else if e.cfg.SeedHeuristic != nil {
+		base = e.cfg.SeedHeuristic(e.in)
+	}
+	frac := e.cfg.PerturbFraction
+	if frac == 0 {
+		frac = 0.3
+	}
+	for i := range e.pop {
+		var s schedule.Schedule
+		switch {
+		case i < len(initial):
+			s = initial[i].Clone()
+		case base != nil && i == 0:
+			s = base.Clone()
+		case base != nil:
+			s = base.Clone()
+			schedule.Perturb(s, e.in, e.r, frac)
+		default:
+			s = schedule.NewRandom(e.in, e.r)
+		}
+		e.pop[i] = schedule.NewState(e.in, s)
+		e.cfg.LocalSearch.Improve(e.pop[i], e.cfg.Objective, e.cfg.LSIterations, e.r)
+		e.fit[i] = e.cfg.Objective.Of(e.pop[i])
+		e.evals++
+	}
+	e.scratch = schedule.NewState(e.in, e.pop[0].Schedule())
+	e.refreshBest()
+}
+
+func (e *engine) refreshBest() {
+	for i, f := range e.fit {
+		if e.best == nil || f < e.bestFit {
+			e.bestFit = f
+			e.best = e.pop[i].Schedule()
+			e.bestMS = e.pop[i].Makespan()
+			e.bestFT = e.pop[i].Flowtime()
+		}
+	}
+}
+
+// noteIfBest records st as the best-ever solution if it improves.
+func (e *engine) noteIfBest(st *schedule.State, f float64) {
+	if e.best == nil || f < e.bestFit {
+		e.bestFit = f
+		e.best = st.Schedule()
+		e.bestMS = st.Makespan()
+		e.bestFT = st.Flowtime()
+	}
+}
+
+func (e *engine) run(budget run.Budget, obs run.Observer, name string) run.Result {
+	start := time.Now()
+	iter := 0
+	emit := func() {
+		if obs != nil {
+			obs(run.Progress{
+				Elapsed:   time.Since(start),
+				Iteration: iter,
+				Fitness:   e.bestFit,
+				Makespan:  e.bestMS,
+				Flowtime:  e.bestFT,
+			})
+		}
+	}
+	emit()
+	for !budget.Done(iter, start) {
+		if e.cfg.Synchronous {
+			e.iterateSync(iter)
+		} else {
+			e.iterateAsync()
+		}
+		iter++
+		emit()
+	}
+	return run.Result{
+		Best:       e.best,
+		Fitness:    e.bestFit,
+		Makespan:   e.bestMS,
+		Flowtime:   e.bestFT,
+		Iterations: iter,
+		Evals:      e.evals,
+		Elapsed:    time.Since(start),
+		Algorithm:  name,
+	}
+}
+
+// recombineInto computes one recombination offspring for cell c into dst,
+// using buf as the crossover scratch buffer. It selects
+// SolutionsToRecombine distinct parents from the neighborhood with the
+// configured selector, recombines the two fittest and improves the child
+// with local search. fitAt reads fitness of a cell (differs between async,
+// which sees fresh values, and sync, which sees the frozen generation).
+// Returns the child's fitness.
+func (e *engine) recombineInto(c int, dst *schedule.State, buf schedule.Schedule, popAt func(int) *schedule.State, fitAt func(int) float64, r *rng.Source) float64 {
+	sel := operators.SelectDistinct(e.cfg.Selector, e.cfg.SolutionsToRecombine, e.nb.Of[c], fitAt, r)
+	// Two fittest of S.
+	p1, p2 := sel[0], sel[1]
+	if fitAt(p2) < fitAt(p1) {
+		p1, p2 = p2, p1
+	}
+	for _, s := range sel[2:] {
+		switch {
+		case fitAt(s) < fitAt(p1):
+			p2, p1 = p1, s
+		case fitAt(s) < fitAt(p2):
+			p2 = s
+		}
+	}
+	e.cfg.Crossover.Cross(popAt(p1).ScheduleView(), popAt(p2).ScheduleView(), buf, r)
+	dst.SetSchedule(buf)
+	e.cfg.LocalSearch.Improve(dst, e.cfg.Objective, e.cfg.LSIterations, r)
+	return e.cfg.Objective.Of(dst)
+}
+
+// mutateInto copies cell c into dst, applies the mutation operator and
+// local search. Returns the offspring fitness.
+func (e *engine) mutateInto(c int, dst *schedule.State, popAt func(int) *schedule.State, r *rng.Source) float64 {
+	dst.CopyFrom(popAt(c))
+	e.cfg.Mutator.Mutate(dst, r)
+	e.cfg.LocalSearch.Improve(dst, e.cfg.Objective, e.cfg.LSIterations, r)
+	return e.cfg.Objective.Of(dst)
+}
+
+// replace commits offspring dst (fitness f) into cell c when the
+// replacement policy allows.
+func (e *engine) replace(c int, dst *schedule.State, f float64) {
+	if e.cfg.AddOnlyIfBetter && f >= e.fit[c] {
+		return
+	}
+	e.pop[c].CopyFrom(dst)
+	e.fit[c] = f
+	e.noteIfBest(dst, f)
+}
+
+// iterateAsync runs one asynchronous iteration per Algorithm 1: the
+// recombination pass followed by the mutation pass, each on its own sweep
+// order, with replacements visible immediately.
+func (e *engine) iterateAsync() {
+	popAt := func(i int) *schedule.State { return e.pop[i] }
+	fitAt := func(i int) float64 { return e.fit[i] }
+	for k := 0; k < e.cfg.Recombinations; k++ {
+		c := e.recOrd.Next()
+		f := e.recombineInto(c, e.scratch, e.child, popAt, fitAt, e.r)
+		e.evals++
+		e.replace(c, e.scratch, f)
+	}
+	for k := 0; k < e.cfg.Mutations; k++ {
+		c := e.mutOrd.Next()
+		f := e.mutateInto(c, e.scratch, popAt, e.r)
+		e.evals++
+		e.replace(c, e.scratch, f)
+	}
+}

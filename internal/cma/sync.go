@@ -1,0 +1,109 @@
+package cma
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
+)
+
+// Synchronous updating: every offspring of an iteration is computed against
+// the frozen current generation, so the per-cell computations are
+// embarrassingly parallel. Determinism is preserved by deriving each
+// update's RNG from (run seed, iteration, update index) rather than from a
+// shared stream, and by committing replacements in update order after the
+// barrier.
+
+// workerCtx is the per-goroutine scratch space reused across iterations.
+type workerCtx struct {
+	dst *schedule.State
+	buf schedule.Schedule
+}
+
+// syncUpdate describes one pending update of a synchronous iteration.
+type syncUpdate struct {
+	cell     int
+	mutation bool // false = recombination
+	fitness  float64
+	sched    schedule.Schedule // computed offspring (copied out of scratch)
+}
+
+// iterateSync runs one synchronous iteration. Cells for both passes are
+// drawn from the same sweep orders as the asynchronous engine; offspring
+// are computed in parallel and committed in draw order.
+func (e *engine) iterateSync(iter int) {
+	nUpd := e.cfg.Recombinations + e.cfg.Mutations
+	updates := make([]syncUpdate, nUpd)
+	for k := 0; k < e.cfg.Recombinations; k++ {
+		updates[k] = syncUpdate{cell: e.recOrd.Next()}
+	}
+	for k := 0; k < e.cfg.Mutations; k++ {
+		updates[e.cfg.Recombinations+k] = syncUpdate{cell: e.mutOrd.Next(), mutation: true}
+	}
+
+	// Frozen view of the generation.
+	popAt := func(i int) *schedule.State { return e.pop[i] }
+	frozenFit := append([]float64(nil), e.fit...)
+	fitAt := func(i int) float64 { return frozenFit[i] }
+
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nUpd {
+		workers = nUpd
+	}
+	if e.syncCtx == nil {
+		e.syncCtx = map[int]*workerCtx{}
+	}
+
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		ctx := e.syncCtx[w]
+		if ctx == nil {
+			ctx = &workerCtx{
+				dst: schedule.NewState(e.in, e.pop[0].Schedule()),
+				buf: make(schedule.Schedule, e.in.Jobs),
+			}
+			e.syncCtx[w] = ctx
+		}
+		go func(ctx *workerCtx) {
+			defer wg.Done()
+			for {
+				k := int(atomic.AddInt64(&next, 1))
+				if k >= nUpd {
+					return
+				}
+				u := &updates[k]
+				// Deterministic stream per (seed, iteration, update).
+				r := rng.New(e.seed ^ mix(uint64(iter), uint64(k)))
+				if u.mutation {
+					u.fitness = e.mutateInto(u.cell, ctx.dst, popAt, r)
+				} else {
+					u.fitness = e.recombineInto(u.cell, ctx.dst, ctx.buf, popAt, fitAt, r)
+				}
+				u.sched = ctx.dst.Schedule()
+			}
+		}(ctx)
+	}
+	wg.Wait()
+
+	// Commit in draw order (deterministic regardless of scheduling).
+	for i := range updates {
+		u := &updates[i]
+		e.scratch.SetSchedule(u.sched)
+		e.evals++
+		e.replace(u.cell, e.scratch, u.fitness)
+	}
+}
+
+// mix hashes two words into one (splitmix-style finaliser over the pair).
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b + 0x632be59bd9b4e019
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,178 @@
+package etc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridcma/internal/rng"
+)
+
+func TestCVBValidation(t *testing.T) {
+	bad := []CVBOptions{
+		{TaskMean: 0, Vtask: 0.5, Vmach: 0.5},
+		{TaskMean: 100, Vtask: 0, Vmach: 0.5},
+		{TaskMean: 100, Vtask: 0.5, Vmach: -1},
+		{Jobs: -1, TaskMean: 100, Vtask: 0.5, Vmach: 0.5},
+	}
+	for i, o := range bad {
+		if _, err := GenerateCVB("t", o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCVBDefaultsAndValidity(t *testing.T) {
+	in, err := GenerateCVB("cvb", CVBOptions{TaskMean: 100, Vtask: 0.6, Vmach: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Jobs != BenchmarkJobs || in.Machs != BenchmarkMachs {
+		t.Fatalf("dims %d×%d", in.Jobs, in.Machs)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCVBDeterministic(t *testing.T) {
+	o := CVBOptions{Jobs: 32, Machs: 8, TaskMean: 50, Vtask: 0.3, Vmach: 0.3, Seed: 9}
+	a, _ := GenerateCVB("a", o)
+	b, _ := GenerateCVB("b", o)
+	for i := range a.ETC {
+		if a.ETC[i] != b.ETC[i] {
+			t.Fatal("CVB not deterministic")
+		}
+	}
+}
+
+func TestCVBMeanTracksTaskMean(t *testing.T) {
+	o := CVBOptions{Jobs: 400, Machs: 16, TaskMean: 1000, Vtask: 0.3, Vmach: 0.3, Seed: 3}
+	in, err := GenerateCVB("t", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range in.ETC {
+		sum += v
+	}
+	mean := sum / float64(len(in.ETC))
+	if mean < 700 || mean > 1300 {
+		t.Errorf("overall mean %v far from TaskMean 1000", mean)
+	}
+}
+
+func TestCVBHeterogeneityScalesWithCV(t *testing.T) {
+	lo, _ := GenerateCVB("lo", CVBOptions{Jobs: 300, Machs: 8, TaskMean: 100, Vtask: 0.1, Vmach: 0.1, Seed: 5})
+	hi, _ := GenerateCVB("hi", CVBOptions{Jobs: 300, Machs: 8, TaskMean: 100, Vtask: 0.9, Vmach: 0.9, Seed: 5})
+	cv := func(in *Instance) float64 {
+		sum, n := 0.0, float64(len(in.ETC))
+		for _, v := range in.ETC {
+			sum += v
+		}
+		mean := sum / n
+		ss := 0.0
+		for _, v := range in.ETC {
+			d := v - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss/n) / mean
+	}
+	if cv(hi) <= 2*cv(lo) {
+		t.Errorf("high-CV instance (%v) should be much more spread than low-CV (%v)", cv(hi), cv(lo))
+	}
+}
+
+func TestCVBConsistencyTransforms(t *testing.T) {
+	cons, err := GenerateCVB("c", CVBOptions{Jobs: 60, Machs: 8, TaskMean: 100,
+		Vtask: 0.5, Vmach: 0.5, Consistency: Consistent, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cons.IsConsistent() {
+		t.Error("consistent CVB instance not consistent")
+	}
+	semi, _ := GenerateCVB("s", CVBOptions{Jobs: 60, Machs: 8, TaskMean: 100,
+		Vtask: 0.5, Vmach: 0.5, Consistency: SemiConsistent, Seed: 7})
+	for i := 0; i < semi.Jobs; i++ {
+		row := semi.Row(i)
+		prev := math.Inf(-1)
+		for j := 0; j < semi.Machs; j += 2 {
+			if row[j] < prev {
+				t.Fatal("semi-consistent CVB: even columns not sorted")
+			}
+			prev = row[j]
+		}
+	}
+}
+
+func TestGammaMomentsRoughlyCorrect(t *testing.T) {
+	r := rng.New(11)
+	const shape, scale, n = 4.0, 25.0, 20000
+	sum, ss := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := gamma(r, shape, scale)
+		if v <= 0 {
+			t.Fatal("gamma produced non-positive draw")
+		}
+		sum += v
+	}
+	mean := sum / n
+	r2 := rng.New(12)
+	for i := 0; i < n; i++ {
+		d := gamma(r2, shape, scale) - shape*scale
+		ss += d * d
+	}
+	variance := ss / n
+	if math.Abs(mean-shape*scale) > 0.05*shape*scale {
+		t.Errorf("gamma mean %v, want ~%v", mean, shape*scale)
+	}
+	if math.Abs(variance-shape*scale*scale)/(shape*scale*scale) > 0.15 {
+		t.Errorf("gamma variance %v, want ~%v", variance, shape*scale*scale)
+	}
+}
+
+func TestGammaSmallShape(t *testing.T) {
+	r := rng.New(13)
+	const shape, scale, n = 0.5, 10.0, 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := gamma(r, shape, scale)
+		if v <= 0 {
+			t.Fatal("non-positive draw for shape < 1")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-shape*scale) > 0.1*shape*scale {
+		t.Errorf("gamma(0.5) mean %v, want ~%v", mean, shape*scale)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := rng.New(17)
+	const n = 50000
+	sum, ss := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := normal(r)
+		sum += v
+		ss += v * v
+	}
+	if mean := sum / n; math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v", mean)
+	}
+	if variance := ss / n; math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %v", variance)
+	}
+}
+
+func TestCVBProperty(t *testing.T) {
+	f := func(seed uint64, consIdx uint8) bool {
+		o := CVBOptions{Jobs: 16, Machs: 4, TaskMean: 80, Vtask: 0.4, Vmach: 0.4,
+			Consistency: Consistency(consIdx % 3), Seed: seed}
+		in, err := GenerateCVB("p", o)
+		return err == nil && in.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package etc implements the Expected Time to Compute (ETC) instance model
+// of Braun et al. (JPDC 2001), the benchmark family on which the paper
+// evaluates its cellular memetic scheduler.
+//
+// An instance is an nb_jobs × nb_machines matrix where ETC[i][j] is the
+// expected wall-clock time of job i on machine j, plus a per-machine ready
+// time (the time at which the machine finishes previously assigned work).
+// The original benchmark files are not redistributable; Generate rebuilds
+// instances of every class with the published range-based method, so the
+// statistical family (and hence the shape of all experimental results) is
+// preserved.
+package etc
+
+import (
+	"fmt"
+	"sort"
+
+	"gridcma/internal/rng"
+)
+
+// Consistency describes the structure of an ETC matrix.
+type Consistency int
+
+const (
+	// Inconsistent matrices have no structure: a machine may be faster
+	// than another for one job and slower for the next.
+	Inconsistent Consistency = iota
+	// Consistent matrices satisfy: if machine a is faster than machine b
+	// for one job, it is faster for every job.
+	Consistent
+	// SemiConsistent matrices embed a consistent sub-matrix (even columns
+	// of every row, per the benchmark's construction) in an otherwise
+	// inconsistent matrix.
+	SemiConsistent
+)
+
+// String returns the single-letter code used in Braun instance names.
+func (c Consistency) String() string {
+	switch c {
+	case Consistent:
+		return "c"
+	case Inconsistent:
+		return "i"
+	case SemiConsistent:
+		return "s"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// Heterogeneity is the spread of job workloads or machine speeds.
+type Heterogeneity int
+
+const (
+	// Low heterogeneity draws from a narrow range.
+	Low Heterogeneity = iota
+	// High heterogeneity draws from a wide range.
+	High
+)
+
+// String returns the two-letter code used in Braun instance names.
+func (h Heterogeneity) String() string {
+	if h == High {
+		return "hi"
+	}
+	return "lo"
+}
+
+// Range limits of the Braun et al. range-based generation method.
+const (
+	// TaskHeterogeneityHigh is the upper bound of the per-job baseline
+	// draw B[i] ~ U[1, 3000] for high job heterogeneity.
+	TaskHeterogeneityHigh = 3000
+	// TaskHeterogeneityLow is the analogous bound (100) for low job
+	// heterogeneity.
+	TaskHeterogeneityLow = 100
+	// MachineHeterogeneityHigh bounds the per-entry multiplier
+	// r[i][j] ~ U[1, 1000] for high machine heterogeneity.
+	MachineHeterogeneityHigh = 1000
+	// MachineHeterogeneityLow is the analogous bound (10).
+	MachineHeterogeneityLow = 10
+)
+
+// Class identifies one of the 12 Braun benchmark instance classes.
+type Class struct {
+	Consistency Consistency
+	JobHet      Heterogeneity // heterogeneity of job workloads
+	MachineHet  Heterogeneity // heterogeneity of machine capacities
+}
+
+// Name returns the benchmark-style class name with trial index k, e.g.
+// "u_c_hihi.0": uniform distribution, consistent, high job heterogeneity,
+// high machine heterogeneity, trial 0.
+func (c Class) Name(k int) string {
+	return fmt.Sprintf("u_%s_%s%s.%d", c.Consistency, c.JobHet, c.MachineHet, k)
+}
+
+// AllClasses returns the 12 benchmark classes in the order the paper's
+// tables list them: consistent, inconsistent, semi-consistent; within each,
+// hihi, hilo, lohi, lolo.
+func AllClasses() []Class {
+	var out []Class
+	for _, cons := range []Consistency{Consistent, Inconsistent, SemiConsistent} {
+		out = append(out,
+			Class{cons, High, High},
+			Class{cons, High, Low},
+			Class{cons, Low, High},
+			Class{cons, Low, Low},
+		)
+	}
+	return out
+}
+
+// ParseClass parses a benchmark instance name of the form u_x_yyzz.k and
+// returns its class and trial index.
+func ParseClass(name string) (Class, int, error) {
+	var cons, het string
+	var k int
+	if _, err := fmt.Sscanf(name, "u_%1s_%4s.%d", &cons, &het, &k); err != nil {
+		return Class{}, 0, fmt.Errorf("etc: malformed instance name %q: %v", name, err)
+	}
+	var c Class
+	switch cons {
+	case "c":
+		c.Consistency = Consistent
+	case "i":
+		c.Consistency = Inconsistent
+	case "s":
+		c.Consistency = SemiConsistent
+	default:
+		return Class{}, 0, fmt.Errorf("etc: unknown consistency %q in %q", cons, name)
+	}
+	switch het[:2] {
+	case "hi":
+		c.JobHet = High
+	case "lo":
+		c.JobHet = Low
+	default:
+		return Class{}, 0, fmt.Errorf("etc: unknown job heterogeneity in %q", name)
+	}
+	switch het[2:] {
+	case "hi":
+		c.MachineHet = High
+	case "lo":
+		c.MachineHet = Low
+	default:
+		return Class{}, 0, fmt.Errorf("etc: unknown machine heterogeneity in %q", name)
+	}
+	return c, k, nil
+}
+
+// Instance is a complete scheduling problem: an ETC matrix plus machine
+// ready times. Instances are immutable once built; schedulers never write
+// to them, so a single Instance may be shared by concurrent runs.
+type Instance struct {
+	Name  string
+	Jobs  int
+	Machs int
+	// ETC is row-major: ETC[i*Machs+j] is the expected time of job i on
+	// machine j. A flat slice keeps the hot evaluation loops cache-
+	// friendly and allocation-free.
+	ETC []float64
+	// Ready[j] is the time machine j becomes available. The Braun
+	// benchmark uses all-zero ready times; the dynamic simulator supplies
+	// non-zero ones.
+	Ready []float64
+
+	workload []float64 // mean ETC per job (lazily built by Finalize)
+	speed    []float64 // 1 / mean ETC per machine
+}
+
+// New allocates an Instance with the given dimensions, zero ETC entries and
+// zero ready times. Call Finalize after filling ETC.
+func New(name string, jobs, machs int) *Instance {
+	if jobs <= 0 || machs <= 0 {
+		panic(fmt.Sprintf("etc: invalid dimensions %d×%d", jobs, machs))
+	}
+	return &Instance{
+		Name:  name,
+		Jobs:  jobs,
+		Machs: machs,
+		ETC:   make([]float64, jobs*machs),
+		Ready: make([]float64, machs),
+	}
+}
+
+// At returns ETC[job][mach].
+func (in *Instance) At(job, mach int) float64 {
+	return in.ETC[job*in.Machs+mach]
+}
+
+// Set assigns ETC[job][mach] = v. It must not be called after the instance
+// is shared with schedulers.
+func (in *Instance) Set(job, mach int, v float64) {
+	in.ETC[job*in.Machs+mach] = v
+}
+
+// Row returns the ETC row of job as a sub-slice (do not mutate).
+func (in *Instance) Row(job int) []float64 {
+	return in.ETC[job*in.Machs : (job+1)*in.Machs]
+}
+
+// Finalize computes the derived per-job workloads and per-machine speeds
+// used by workload-aware heuristics (LJFR-SJFR). It must be called once
+// after the ETC matrix is filled; New* constructors in this package do so.
+func (in *Instance) Finalize() {
+	in.workload = make([]float64, in.Jobs)
+	colSum := make([]float64, in.Machs)
+	for i := 0; i < in.Jobs; i++ {
+		row := in.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v
+			colSum[j] += v
+		}
+		in.workload[i] = s / float64(in.Machs)
+	}
+	in.speed = make([]float64, in.Machs)
+	for j := range in.speed {
+		mean := colSum[j] / float64(in.Jobs)
+		if mean > 0 {
+			in.speed[j] = 1 / mean
+		}
+	}
+}
+
+// Workload returns the derived workload of job i (mean ETC across
+// machines). The ETC benchmark does not ship explicit per-job instruction
+// counts, so this proxy stands in for them; see DESIGN.md §6.
+func (in *Instance) Workload(i int) float64 {
+	if in.workload == nil {
+		panic("etc: Workload before Finalize")
+	}
+	return in.workload[i]
+}
+
+// Speed returns the derived relative speed of machine j (higher is faster).
+func (in *Instance) Speed(j int) float64 {
+	if in.speed == nil {
+		panic("etc: Speed before Finalize")
+	}
+	return in.speed[j]
+}
+
+// Validate checks structural invariants: positive dimensions, matching
+// slice lengths, strictly positive ETC entries and non-negative ready
+// times. It returns a descriptive error for the first violation found.
+func (in *Instance) Validate() error {
+	if in.Jobs <= 0 || in.Machs <= 0 {
+		return fmt.Errorf("etc: non-positive dimensions %d×%d", in.Jobs, in.Machs)
+	}
+	if len(in.ETC) != in.Jobs*in.Machs {
+		return fmt.Errorf("etc: ETC length %d, want %d", len(in.ETC), in.Jobs*in.Machs)
+	}
+	if len(in.Ready) != in.Machs {
+		return fmt.Errorf("etc: Ready length %d, want %d", len(in.Ready), in.Machs)
+	}
+	for i, v := range in.ETC {
+		if !(v > 0) {
+			return fmt.Errorf("etc: ETC[%d][%d] = %v, want > 0", i/in.Machs, i%in.Machs, v)
+		}
+	}
+	for j, v := range in.Ready {
+		if v < 0 {
+			return fmt.Errorf("etc: Ready[%d] = %v, want >= 0", j, v)
+		}
+	}
+	return nil
+}
+
+// IsConsistent reports whether the matrix is consistent: the machine speed
+// order is identical in every row.
+func (in *Instance) IsConsistent() bool {
+	if in.Jobs == 0 {
+		return true
+	}
+	order := rankOrder(in.Row(0))
+	for i := 1; i < in.Jobs; i++ {
+		row := in.Row(i)
+		for k := 0; k+1 < len(order); k++ {
+			if row[order[k]] > row[order[k+1]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func rankOrder(row []float64) []int {
+	order := make([]int, len(row))
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
+	return order
+}
+
+// Clone returns a deep copy of the instance (including derived fields).
+func (in *Instance) Clone() *Instance {
+	out := &Instance{Name: in.Name, Jobs: in.Jobs, Machs: in.Machs}
+	out.ETC = append([]float64(nil), in.ETC...)
+	out.Ready = append([]float64(nil), in.Ready...)
+	if in.workload != nil {
+		out.workload = append([]float64(nil), in.workload...)
+	}
+	if in.speed != nil {
+		out.speed = append([]float64(nil), in.speed...)
+	}
+	return out
+}
+
+// GenerateOptions controls instance generation.
+type GenerateOptions struct {
+	Jobs  int // number of jobs (benchmark: 512)
+	Machs int // number of machines (benchmark: 16)
+	Seed  uint64
+}
+
+// BenchmarkDims are the dimensions of every instance in the Braun suite.
+const (
+	BenchmarkJobs  = 512
+	BenchmarkMachs = 16
+)
+
+// Generate builds an instance of the given class with the range-based
+// method: ETC[i][j] = B[i] * r[i][j] with B[i] ~ U[1, Rtask] and
+// r[i][j] ~ U[1, Rmach], then applies the class's consistency transform.
+func Generate(class Class, k int, opt GenerateOptions) *Instance {
+	if opt.Jobs == 0 {
+		opt.Jobs = BenchmarkJobs
+	}
+	if opt.Machs == 0 {
+		opt.Machs = BenchmarkMachs
+	}
+	r := rng.New(opt.Seed)
+	in := New(class.Name(k), opt.Jobs, opt.Machs)
+
+	rTask := float64(TaskHeterogeneityLow)
+	if class.JobHet == High {
+		rTask = TaskHeterogeneityHigh
+	}
+	rMach := float64(MachineHeterogeneityLow)
+	if class.MachineHet == High {
+		rMach = MachineHeterogeneityHigh
+	}
+
+	for i := 0; i < in.Jobs; i++ {
+		b := r.Uniform(1, rTask)
+		row := in.ETC[i*in.Machs : (i+1)*in.Machs]
+		for j := range row {
+			row[j] = b * r.Uniform(1, rMach)
+		}
+		switch class.Consistency {
+		case Consistent:
+			sort.Float64s(row)
+		case SemiConsistent:
+			sortEvenColumns(row)
+		}
+	}
+	in.Finalize()
+	return in
+}
+
+// sortEvenColumns sorts the values sitting in even column positions of row
+// in place, leaving odd columns untouched. This is the benchmark's
+// semi-consistency construction: even columns form a consistent sub-matrix.
+func sortEvenColumns(row []float64) {
+	n := (len(row) + 1) / 2
+	tmp := make([]float64, 0, n)
+	for j := 0; j < len(row); j += 2 {
+		tmp = append(tmp, row[j])
+	}
+	sort.Float64s(tmp)
+	for k, j := 0, 0; j < len(row); j += 2 {
+		row[j] = tmp[k]
+		k++
+	}
+}
+
+// GenerateByName parses a benchmark instance name and generates the
+// corresponding instance with a seed derived from the name, so that
+// "u_c_hihi.0" is the same instance in every process.
+func GenerateByName(name string) (*Instance, error) {
+	class, k, err := ParseClass(name)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(class, k, GenerateOptions{Seed: nameSeed(name)}), nil
+}
+
+// nameSeed hashes an instance name to a stable 64-bit seed (FNV-1a).
+func nameSeed(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}

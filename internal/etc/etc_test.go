@@ -1,0 +1,301 @@
+package etc
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassName(t *testing.T) {
+	cases := []struct {
+		class Class
+		k     int
+		want  string
+	}{
+		{Class{Consistent, High, High}, 0, "u_c_hihi.0"},
+		{Class{Inconsistent, High, Low}, 0, "u_i_hilo.0"},
+		{Class{SemiConsistent, Low, High}, 3, "u_s_lohi.3"},
+		{Class{Consistent, Low, Low}, 7, "u_c_lolo.7"},
+	}
+	for _, c := range cases {
+		if got := c.class.Name(c.k); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, class := range AllClasses() {
+		for _, k := range []int{0, 5, 99} {
+			name := class.Name(k)
+			got, gotK, err := ParseClass(name)
+			if err != nil {
+				t.Fatalf("ParseClass(%q): %v", name, err)
+			}
+			if got != class || gotK != k {
+				t.Errorf("ParseClass(%q) = %v,%d want %v,%d", name, got, gotK, class, k)
+			}
+		}
+	}
+}
+
+func TestParseClassErrors(t *testing.T) {
+	for _, bad := range []string{"", "u_c_hihi", "x_c_hihi.0", "u_q_hihi.0", "u_c_xxhi.0", "u_c_hixx.0", "nonsense"} {
+		if _, _, err := ParseClass(bad); err == nil {
+			t.Errorf("ParseClass(%q): expected error", bad)
+		}
+	}
+}
+
+func TestAllClassesCount(t *testing.T) {
+	cs := AllClasses()
+	if len(cs) != 12 {
+		t.Fatalf("got %d classes, want 12", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		n := c.Name(0)
+		if seen[n] {
+			t.Errorf("duplicate class %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGenerateDimensionsAndValidity(t *testing.T) {
+	in := Generate(Class{Consistent, High, High}, 0, GenerateOptions{Seed: 1})
+	if in.Jobs != BenchmarkJobs || in.Machs != BenchmarkMachs {
+		t.Fatalf("dims %d×%d", in.Jobs, in.Machs)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(Class{Inconsistent, Low, High}, 0, GenerateOptions{Seed: 42, Jobs: 64, Machs: 8})
+	b := Generate(Class{Inconsistent, Low, High}, 0, GenerateOptions{Seed: 42, Jobs: 64, Machs: 8})
+	for i := range a.ETC {
+		if a.ETC[i] != b.ETC[i] {
+			t.Fatalf("ETC[%d] differs", i)
+		}
+	}
+	c := Generate(Class{Inconsistent, Low, High}, 0, GenerateOptions{Seed: 43, Jobs: 64, Machs: 8})
+	same := true
+	for i := range a.ETC {
+		if a.ETC[i] != c.ETC[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestGenerateConsistency(t *testing.T) {
+	cons := Generate(Class{Consistent, High, High}, 0, GenerateOptions{Seed: 7, Jobs: 100, Machs: 16})
+	if !cons.IsConsistent() {
+		t.Error("consistent class generated inconsistent matrix")
+	}
+	inc := Generate(Class{Inconsistent, High, High}, 0, GenerateOptions{Seed: 7, Jobs: 100, Machs: 16})
+	if inc.IsConsistent() {
+		t.Error("inconsistent class generated a consistent matrix (astronomically unlikely)")
+	}
+}
+
+func TestGenerateSemiConsistentSubmatrix(t *testing.T) {
+	in := Generate(Class{SemiConsistent, High, High}, 0, GenerateOptions{Seed: 9, Jobs: 50, Machs: 16})
+	// Even columns must be sorted ascending within each row.
+	for i := 0; i < in.Jobs; i++ {
+		row := in.Row(i)
+		prev := math.Inf(-1)
+		for j := 0; j < in.Machs; j += 2 {
+			if row[j] < prev {
+				t.Fatalf("row %d even columns not sorted", i)
+			}
+			prev = row[j]
+		}
+	}
+	if in.IsConsistent() {
+		t.Error("semi-consistent matrix should not be fully consistent")
+	}
+}
+
+func TestGenerateHeterogeneityRanges(t *testing.T) {
+	hi := Generate(Class{Inconsistent, High, High}, 0, GenerateOptions{Seed: 3, Jobs: 200, Machs: 16})
+	lo := Generate(Class{Inconsistent, Low, Low}, 0, GenerateOptions{Seed: 3, Jobs: 200, Machs: 16})
+	maxHi, maxLo := 0.0, 0.0
+	for _, v := range hi.ETC {
+		maxHi = math.Max(maxHi, v)
+	}
+	for _, v := range lo.ETC {
+		maxLo = math.Max(maxLo, v)
+	}
+	if maxHi <= TaskHeterogeneityLow*MachineHeterogeneityLow {
+		t.Errorf("hihi max %v suspiciously small", maxHi)
+	}
+	if maxLo > TaskHeterogeneityLow*MachineHeterogeneityLow {
+		t.Errorf("lolo max %v exceeds range bound %d", maxLo, TaskHeterogeneityLow*MachineHeterogeneityLow)
+	}
+	if maxHi < 100*maxLo {
+		t.Errorf("expected ≫ spread between hihi (%v) and lolo (%v)", maxHi, maxLo)
+	}
+}
+
+func TestGenerateByNameStable(t *testing.T) {
+	a, err := GenerateByName("u_c_hihi.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateByName("u_c_hihi.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "u_c_hihi.0" {
+		t.Errorf("name %q", a.Name)
+	}
+	for i := range a.ETC {
+		if a.ETC[i] != b.ETC[i] {
+			t.Fatal("GenerateByName not stable")
+		}
+	}
+	if _, err := GenerateByName("bogus"); err == nil {
+		t.Error("expected error for bogus name")
+	}
+}
+
+func TestWorkloadSpeed(t *testing.T) {
+	in := New("t", 2, 2)
+	in.Set(0, 0, 2)
+	in.Set(0, 1, 4)
+	in.Set(1, 0, 6)
+	in.Set(1, 1, 8)
+	in.Finalize()
+	if got := in.Workload(0); got != 3 {
+		t.Errorf("Workload(0) = %v, want 3", got)
+	}
+	if got := in.Workload(1); got != 7 {
+		t.Errorf("Workload(1) = %v, want 7", got)
+	}
+	// Machine 0 column mean = 4, machine 1 = 6: machine 0 faster.
+	if !(in.Speed(0) > in.Speed(1)) {
+		t.Errorf("Speed(0)=%v should exceed Speed(1)=%v", in.Speed(0), in.Speed(1))
+	}
+}
+
+func TestValidateCatchesBadInstances(t *testing.T) {
+	in := New("t", 2, 2)
+	if err := in.Validate(); err == nil {
+		t.Error("zero ETC entries should fail validation")
+	}
+	for i := range in.ETC {
+		in.ETC[i] = 1
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	in.Ready[0] = -1
+	if err := in.Validate(); err == nil {
+		t.Error("negative ready time should fail validation")
+	}
+	in.Ready[0] = 0
+	in.ETC = in.ETC[:3]
+	if err := in.Validate(); err == nil {
+		t.Error("truncated ETC should fail validation")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	in := Generate(Class{Consistent, Low, Low}, 0, GenerateOptions{Seed: 1, Jobs: 8, Machs: 4})
+	cp := in.Clone()
+	cp.ETC[0] += 99
+	cp.Ready[0] = 5
+	if in.ETC[0] == cp.ETC[0] || in.Ready[0] == cp.Ready[0] {
+		t.Fatal("Clone shares storage")
+	}
+	if cp.Workload(0) != in.Workload(0) {
+		t.Fatal("Clone lost derived fields")
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	in := Generate(Class{SemiConsistent, High, Low}, 2, GenerateOptions{Seed: 5, Jobs: 20, Machs: 4})
+	in.Ready[1] = 12.5
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != in.Name || got.Jobs != in.Jobs || got.Machs != in.Machs {
+		t.Fatalf("header mismatch: %s %d×%d", got.Name, got.Jobs, got.Machs)
+	}
+	for i := range in.ETC {
+		if math.Abs(got.ETC[i]-in.ETC[i]) > 1e-5 {
+			t.Fatalf("ETC[%d]: got %v want %v", i, got.ETC[i], in.ETC[i])
+		}
+	}
+	if math.Abs(got.Ready[1]-12.5) > 1e-9 {
+		t.Fatalf("Ready[1] = %v", got.Ready[1])
+	}
+}
+
+func TestIOFileRoundTrip(t *testing.T) {
+	in := Generate(Class{Consistent, Low, Low}, 0, GenerateOptions{Seed: 2, Jobs: 6, Machs: 3})
+	path := t.TempDir() + "/inst.etc"
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Jobs != 6 || got.Machs != 3 {
+		t.Fatalf("dims %d×%d", got.Jobs, got.Machs)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "x y\n",
+		"zero dims":     "0 4\n",
+		"too few":       "2 2\n1 2 3\n",
+		"bad value":     "1 2\n1 zz\n",
+		"bad trailing":  "1 1\n1\nwhat\n",
+		"bad ready len": "1 2\n1 2\nready: 1\n",
+		"nonpositive":   "1 2\n0 1\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestGeneratePropertyPositive(t *testing.T) {
+	f := func(seed uint64, classIdx uint8) bool {
+		classes := AllClasses()
+		class := classes[int(classIdx)%len(classes)]
+		in := Generate(class, 0, GenerateOptions{Seed: seed, Jobs: 16, Machs: 4})
+		return in.Validate() == nil
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsistencyString(t *testing.T) {
+	if Consistent.String() != "c" || Inconsistent.String() != "i" || SemiConsistent.String() != "s" {
+		t.Error("consistency codes wrong")
+	}
+	if High.String() != "hi" || Low.String() != "lo" {
+		t.Error("heterogeneity codes wrong")
+	}
+}

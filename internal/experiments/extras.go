@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gridcma/internal/heuristics"
+	"gridcma/internal/schedule"
+)
+
+// HeuristicsRow is one instance's makespans across every constructive
+// heuristic in the library — the Braun-et-al.-style baseline panorama the
+// paper's benchmark descends from. Values are deterministic (no runs).
+type HeuristicsRow struct {
+	Instance  string
+	Makespans map[string]float64 // heuristic name -> makespan
+	BestName  string
+}
+
+// HeuristicsTable evaluates all constructive heuristics on the 12
+// benchmark instances.
+func HeuristicsTable() []HeuristicsRow {
+	rows := make([]HeuristicsRow, 0, len(InstanceNames))
+	for _, name := range InstanceNames {
+		in := Instance(name)
+		row := HeuristicsRow{Instance: name, Makespans: map[string]float64{}}
+		best := ""
+		for _, hn := range heuristics.Names() {
+			h, err := heuristics.ByName(hn)
+			if err != nil {
+				panic(err)
+			}
+			ms := schedule.NewState(in, h(in)).Makespan()
+			row.Makespans[hn] = ms
+			if best == "" || ms < row.Makespans[best] {
+				best = hn
+			}
+		}
+		row.BestName = best
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// HeuristicsCells renders the heuristic panorama.
+func HeuristicsCells(rows []HeuristicsRow) ([]string, [][]string) {
+	names := heuristics.Names()
+	headers := append([]string{"Instance"}, names...)
+	headers = append(headers, "best")
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		cells := []string{r.Instance}
+		for _, n := range names {
+			cells = append(cells, fmt.Sprintf("%.0f", r.Makespans[n]))
+		}
+		cells = append(cells, r.BestName)
+		out[i] = cells
+	}
+	return headers, out
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gridcma/internal/cma"
+	"gridcma/internal/etc"
+	"gridcma/internal/ga"
+	"gridcma/internal/run"
+	"gridcma/internal/sa"
+	"gridcma/internal/stats"
+	"gridcma/internal/tabu"
+)
+
+// Algorithm is the uniform face of every metaheuristic in the library;
+// cma.Scheduler, ga.Scheduler, sa.Scheduler and tabu.Scheduler satisfy it.
+type Algorithm interface {
+	Name() string
+	Run(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer) run.Result
+}
+
+// Assert the schedulers satisfy Algorithm.
+var (
+	_ Algorithm = (*cma.Scheduler)(nil)
+	_ Algorithm = (*ga.Scheduler)(nil)
+	_ Algorithm = (*sa.Scheduler)(nil)
+	_ Algorithm = (*tabu.Scheduler)(nil)
+)
+
+// Options scales an experiment. The paper's protocol (90 s × 10 runs per
+// instance) is Full(); tests and benches use much smaller budgets — the
+// shapes the runners check are budget-robust.
+type Options struct {
+	Budget run.Budget
+	Runs   int // independent runs per (algorithm, instance)
+	Seed   uint64
+	// Workers caps concurrent runs (they parallelise trivially); 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Quick returns the options used by tests and examples: iteration-bounded
+// (hence deterministic) and small.
+func Quick() Options {
+	return Options{Budget: run.Budget{MaxIterations: 40}, Runs: 3, Seed: 1}
+}
+
+// Full returns the paper's protocol: 90 s wall-clock, 10 runs.
+func Full() Options {
+	return Options{Budget: run.Budget{MaxTime: 90 * time.Second}, Runs: 10, Seed: 1}
+}
+
+// Validate reports the first option error.
+func (o Options) Validate() error {
+	switch {
+	case !o.Budget.Bounded():
+		return fmt.Errorf("experiments: unbounded budget")
+	case o.Runs < 1:
+		return fmt.Errorf("experiments: Runs = %d", o.Runs)
+	case o.Workers < 0:
+		return fmt.Errorf("experiments: negative Workers")
+	}
+	return nil
+}
+
+// Sample is the aggregate of repeated runs of one algorithm on one
+// instance.
+type Sample struct {
+	Algorithm string
+	Instance  string
+	Runs      []run.Result
+
+	BestMakespan float64 // min over runs (the paper reports best-of-10)
+	BestFlowtime float64 // flowtime of the run with the best fitness
+	BestFitness  float64
+	Makespans    stats.Summary
+	Flowtimes    stats.Summary
+}
+
+// Repeat runs alg on in o.Runs times with seeds o.Seed, o.Seed+1, ... in
+// parallel and aggregates the results.
+func Repeat(alg Algorithm, in *etc.Instance, o Options) Sample {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
+	results := make([]run.Result, o.Runs)
+	workers := o.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > o.Runs {
+		workers = o.Runs
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				k := next
+				next++
+				mu.Unlock()
+				if k >= o.Runs {
+					return
+				}
+				results[k] = alg.Run(in, o.Budget, o.Seed+uint64(k), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return aggregate(alg.Name(), in.Name, results)
+}
+
+func aggregate(alg, inst string, results []run.Result) Sample {
+	s := Sample{Algorithm: alg, Instance: inst, Runs: results}
+	ms := make([]float64, len(results))
+	fts := make([]float64, len(results))
+	bestIdx := 0
+	for i, r := range results {
+		ms[i] = r.Makespan
+		fts[i] = r.Flowtime
+		if r.Fitness < results[bestIdx].Fitness {
+			bestIdx = i
+		}
+		if i == 0 || r.Makespan < s.BestMakespan {
+			s.BestMakespan = r.Makespan
+		}
+	}
+	s.BestFitness = results[bestIdx].Fitness
+	s.BestFlowtime = results[bestIdx].Flowtime
+	s.Makespans = stats.Summarize(ms)
+	s.Flowtimes = stats.Summarize(fts)
+	return s
+}
+
+// TunedCMA returns the paper's tuned cMA (Table 1).
+func TunedCMA() Algorithm {
+	s, err := cma.New(cma.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BraunGA returns the generational GA baseline of Tables 2.
+func BraunGA() Algorithm {
+	s, err := ga.New(ga.NewConfig(ga.Braun))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SteadyStateGA returns the Carretero–Xhafa baseline of Table 3.
+func SteadyStateGA() Algorithm {
+	s, err := ga.New(ga.NewConfig(ga.SteadyState))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// StruggleGA returns the Struggle GA baseline of Tables 3 and 5.
+func StruggleGA() Algorithm {
+	s, err := ga.New(ga.NewConfig(ga.Struggle))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SimulatedAnnealing returns the SA extra baseline.
+func SimulatedAnnealing() Algorithm {
+	s, err := sa.New(sa.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TabuSearch returns the tabu search extra baseline.
+func TabuSearch() Algorithm {
+	s, err := tabu.New(tabu.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// evalsPerIteration estimates how many full fitness evaluations one budget
+// iteration of the algorithm costs, used to grant different algorithms
+// comparable budgets when running iteration-bounded (tests/benches). The
+// time-budgeted reproduction path does not need this.
+func evalsPerIteration(alg Algorithm) int {
+	switch a := alg.(type) {
+	case *cma.Scheduler:
+		cfg := a.Config()
+		return cfg.Recombinations + cfg.Mutations
+	case *ga.Scheduler:
+		if a.Config().Variant == ga.Braun {
+			return a.Config().PopSize
+		}
+		return 1
+	case *sa.Scheduler:
+		return 1024 // one sweep ≈ 2×512 proposals
+	case *tabu.Scheduler:
+		return 128 // samples per step (default 8×16)
+	default:
+		return 1
+	}
+}
+
+// FairBudget converts a total evaluation allowance into a per-algorithm
+// iteration budget, so iteration-bounded comparisons give every algorithm
+// roughly the same number of fitness evaluations.
+func FairBudget(alg Algorithm, evals int) run.Budget {
+	per := evalsPerIteration(alg)
+	iters := evals / per
+	if iters < 1 {
+		iters = 1
+	}
+	return run.Budget{MaxIterations: iters}
+}

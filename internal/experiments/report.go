@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// FormatTable renders an aligned ASCII table.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes headers and rows as CSV.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Table2Cells converts Table 2 rows into printable cells.
+func Table2Cells(rows []Table2Row) ([]string, [][]string) {
+	headers := []string{"Instance", "BraunGA", "cMA", "Δ%", "paper:BraunGA", "paper:cMA", "paper:Δ%"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Instance, f1(r.BraunGA), f1(r.CMA), f2(r.Delta),
+			f1(r.PaperBraunGA), f1(r.PaperCMA), f2(r.PaperDelta)}
+	}
+	return headers, out
+}
+
+// Table3Cells converts Table 3 rows into printable cells.
+func Table3Cells(rows []Table3Row) ([]string, [][]string) {
+	headers := []string{"Instance", "C&X GA", "StruggleGA", "cMA", "paper:C&X", "paper:Struggle", "paper:cMA"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Instance, f1(r.SteadyStateGA), f1(r.StruggleGA), f1(r.CMA),
+			f1(r.PaperSteadyStateGA), f1(r.PaperStruggleGA), f1(r.PaperCMA)}
+	}
+	return headers, out
+}
+
+// Table4Cells converts Table 4 rows into printable cells.
+func Table4Cells(rows []Table4Row) ([]string, [][]string) {
+	headers := []string{"Instance", "LJFR-SJFR", "cMA", "Δ%", "paper:LJFR-SJFR", "paper:cMA", "paper:Δ%"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Instance, f1(r.LJFRSJFR), f1(r.CMA), f2(r.Delta),
+			f1(r.PaperLJFRSJFR), f1(r.PaperCMA), f2(r.PaperDelta)}
+	}
+	return headers, out
+}
+
+// Table5Cells converts Table 5 rows into printable cells.
+func Table5Cells(rows []Table5Row) ([]string, [][]string) {
+	headers := []string{"Instance", "StruggleGA", "cMA", "Δ%", "paper:Struggle", "paper:cMA", "paper:Δ%"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Instance, f1(r.StruggleGA), f1(r.CMA), f2(r.Delta),
+			f1(r.PaperStruggleGA), f1(r.PaperCMA), f2(r.PaperDelta)}
+	}
+	return headers, out
+}
+
+// RobustnessCells converts robustness rows into printable cells.
+func RobustnessCells(rows []RobustnessRow) ([]string, [][]string) {
+	headers := []string{"Instance", "best", "mean", "std", "relstd%"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Instance, f1(r.Makespans.Min), f1(r.Makespans.Mean),
+			f1(r.Makespans.Std), f2(100 * r.RelStd)}
+	}
+	return headers, out
+}
+
+// SeriesCells flattens figure series into long-format cells
+// (series, iteration, elapsed_ms, makespan).
+func SeriesCells(series []Series) ([]string, [][]string) {
+	headers := []string{"series", "iteration", "elapsed_ms", "makespan"}
+	var out [][]string
+	for _, s := range series {
+		for _, p := range s.Points {
+			out = append(out, []string{
+				s.Label,
+				fmt.Sprint(p.Iteration),
+				fmt.Sprintf("%.2f", float64(p.Elapsed)/float64(time.Millisecond)),
+				f1(p.Makespan),
+			})
+		}
+	}
+	return headers, out
+}
+
+// SeriesSummaryCells renders one row per series with its final makespan —
+// the at-a-glance version of a figure.
+func SeriesSummaryCells(series []Series) ([]string, [][]string) {
+	headers := []string{"series", "points", "final makespan"}
+	out := make([][]string, len(series))
+	for i, s := range series {
+		out[i] = []string{s.Label, fmt.Sprint(len(s.Points)), f1(s.Final())}
+	}
+	return headers, out
+}
+
+// Table1Cells renders the Table 1 configuration dump.
+func Table1Cells(rows []Table1Setting) ([]string, [][]string) {
+	headers := []string{"Parameter", "Value"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Parameter, r.Value}
+	}
+	return headers, out
+}

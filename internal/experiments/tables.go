@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"gridcma/internal/heuristics"
+	"gridcma/internal/run"
+	"gridcma/internal/schedule"
+	"gridcma/internal/stats"
+)
+
+// budgetFor grants alg a budget comparable to the options' budget. Time
+// budgets apply to every algorithm unchanged (the paper's protocol);
+// iteration budgets are interpreted as cMA iterations and converted into
+// an evaluation-fair allowance for the other algorithms.
+func budgetFor(alg Algorithm, o Options) run.Budget {
+	if o.Budget.MaxTime > 0 {
+		return o.Budget
+	}
+	evals := o.Budget.MaxIterations * evalsPerIteration(TunedCMA())
+	return FairBudget(alg, evals)
+}
+
+func repeatFair(alg Algorithm, instName string, o Options) Sample {
+	opts := o
+	opts.Budget = budgetFor(alg, o)
+	return Repeat(alg, Instance(instName), opts)
+}
+
+// Table2Row compares best makespans of Braun et al.'s GA and the cMA on
+// one instance, next to the paper's published pair.
+type Table2Row struct {
+	Instance string
+
+	BraunGA float64 // our measured best makespan
+	CMA     float64
+	Delta   float64 // 100·(BraunGA−CMA)/BraunGA, positive = cMA better
+
+	PaperBraunGA float64
+	PaperCMA     float64
+	PaperDelta   float64
+}
+
+// Table2 reproduces Table 2 (makespan: Braun GA vs cMA).
+func Table2(o Options) []Table2Row {
+	refs := References()
+	rows := make([]Table2Row, 0, len(InstanceNames))
+	for _, name := range InstanceNames {
+		gaS := repeatFair(BraunGA(), name, o)
+		cmaS := repeatFair(TunedCMA(), name, o)
+		ref := refs[name]
+		rows = append(rows, Table2Row{
+			Instance:     name,
+			BraunGA:      gaS.BestMakespan,
+			CMA:          cmaS.BestMakespan,
+			Delta:        stats.PercentDelta(gaS.BestMakespan, cmaS.BestMakespan),
+			PaperBraunGA: ref.BraunGAMakespan,
+			PaperCMA:     ref.CMAMakespan,
+			PaperDelta:   stats.PercentDelta(ref.BraunGAMakespan, ref.CMAMakespan),
+		})
+	}
+	return rows
+}
+
+// Table3Row compares best makespans of the Carretero–Xhafa GA, the
+// Struggle GA and the cMA.
+type Table3Row struct {
+	Instance string
+
+	SteadyStateGA float64
+	StruggleGA    float64
+	CMA           float64
+
+	PaperSteadyStateGA float64
+	PaperStruggleGA    float64
+	PaperCMA           float64
+}
+
+// Table3 reproduces Table 3 (makespan: the two other GAs vs cMA).
+func Table3(o Options) []Table3Row {
+	refs := References()
+	rows := make([]Table3Row, 0, len(InstanceNames))
+	for _, name := range InstanceNames {
+		ss := repeatFair(SteadyStateGA(), name, o)
+		st := repeatFair(StruggleGA(), name, o)
+		cm := repeatFair(TunedCMA(), name, o)
+		ref := refs[name]
+		rows = append(rows, Table3Row{
+			Instance:           name,
+			SteadyStateGA:      ss.BestMakespan,
+			StruggleGA:         st.BestMakespan,
+			CMA:                cm.BestMakespan,
+			PaperSteadyStateGA: ref.CarreteroXhafaGAMakespan,
+			PaperStruggleGA:    ref.StruggleGAMakespan,
+			PaperCMA:           ref.CMAMakespan,
+		})
+	}
+	return rows
+}
+
+// Table4Row compares the flowtime of the LJFR-SJFR heuristic against the
+// cMA's.
+type Table4Row struct {
+	Instance string
+
+	LJFRSJFR float64
+	CMA      float64
+	Delta    float64 // improvement %
+
+	PaperLJFRSJFR float64
+	PaperCMA      float64
+	PaperDelta    float64
+}
+
+// Table4 reproduces Table 4 (flowtime: LJFR-SJFR vs cMA). The heuristic
+// side is deterministic, so it is evaluated once.
+func Table4(o Options) []Table4Row {
+	refs := References()
+	rows := make([]Table4Row, 0, len(InstanceNames))
+	for _, name := range InstanceNames {
+		in := Instance(name)
+		h := schedule.NewState(in, heuristics.LJFRSJFR(in))
+		cm := repeatFair(TunedCMA(), name, o)
+		ref := refs[name]
+		rows = append(rows, Table4Row{
+			Instance:      name,
+			LJFRSJFR:      h.Flowtime(),
+			CMA:           cm.BestFlowtime,
+			Delta:         stats.PercentDelta(h.Flowtime(), cm.BestFlowtime),
+			PaperLJFRSJFR: ref.LJFRSJFRFlowtime,
+			PaperCMA:      ref.CMAFlowtime,
+			PaperDelta:    stats.PercentDelta(ref.LJFRSJFRFlowtime, ref.CMAFlowtime),
+		})
+	}
+	return rows
+}
+
+// Table5Row compares Struggle GA and cMA flowtimes.
+type Table5Row struct {
+	Instance string
+
+	StruggleGA float64
+	CMA        float64
+	Delta      float64
+
+	PaperStruggleGA float64
+	PaperCMA        float64
+	PaperDelta      float64
+}
+
+// Table5 reproduces Table 5 (flowtime: Struggle GA vs cMA).
+func Table5(o Options) []Table5Row {
+	refs := References()
+	rows := make([]Table5Row, 0, len(InstanceNames))
+	for _, name := range InstanceNames {
+		st := repeatFair(StruggleGA(), name, o)
+		cm := repeatFair(TunedCMA(), name, o)
+		ref := refs[name]
+		rows = append(rows, Table5Row{
+			Instance:        name,
+			StruggleGA:      st.BestFlowtime,
+			CMA:             cm.BestFlowtime,
+			Delta:           stats.PercentDelta(st.BestFlowtime, cm.BestFlowtime),
+			PaperStruggleGA: ref.StruggleGAFlowtime,
+			PaperCMA:        ref.CMAFlowtime,
+			PaperDelta:      stats.PercentDelta(ref.StruggleGAFlowtime, ref.CMAFlowtime),
+		})
+	}
+	return rows
+}
+
+// RobustnessRow is the §5.1 robustness evidence for one instance: the
+// relative standard deviation of the cMA's best makespan across runs (the
+// paper reports "roughly 1 %").
+type RobustnessRow struct {
+	Instance  string
+	Makespans stats.Summary
+	RelStd    float64
+}
+
+// Robustness reproduces the §5.1 robustness study.
+func Robustness(o Options) []RobustnessRow {
+	rows := make([]RobustnessRow, 0, len(InstanceNames))
+	for _, name := range InstanceNames {
+		s := repeatFair(TunedCMA(), name, o)
+		rows = append(rows, RobustnessRow{
+			Instance:  name,
+			Makespans: s.Makespans,
+			RelStd:    s.Makespans.RelStd(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gridcma/internal/cell"
+	"gridcma/internal/operators"
+	"gridcma/internal/takeover"
+)
+
+// TakeoverStudy measures the selection pressure of every neighborhood
+// pattern by synchronous takeover analysis on a 40×40 torus with the
+// paper's 3-tournament selection — the quantitative backdrop to the
+// paper's §3.2 claim that the neighborhood pattern "decides the selective
+// pressure of the algorithm".
+func TakeoverStudy(seed uint64) ([]takeover.Curve, error) {
+	o := takeover.Options{
+		Width: 40, Height: 40,
+		Selector:      operators.NewTournament(3),
+		MaxIterations: 2000,
+		Runs:          10,
+		Seed:          seed,
+		Synchronous:   true,
+	}
+	return takeover.Compare(
+		[]cell.Pattern{cell.L5, cell.L9, cell.C9, cell.C13, cell.Panmictic}, o)
+}
+
+// TakeoverCells renders the takeover study: takeover time plus growth at
+// a few probe iterations per pattern.
+func TakeoverCells(curves []takeover.Curve) ([]string, [][]string) {
+	headers := []string{"pattern", "takeover time", "growth@4", "growth@8", "growth@16"}
+	out := make([][]string, len(curves))
+	for i, c := range curves {
+		tt := "did not saturate"
+		if c.TakeoverTime >= 0 {
+			tt = fmt.Sprintf("%.1f", c.TakeoverTime)
+		}
+		out[i] = []string{
+			c.Pattern.String(), tt,
+			fmt.Sprintf("%.4f", c.GrowthAt(4)),
+			fmt.Sprintf("%.4f", c.GrowthAt(8)),
+			fmt.Sprintf("%.4f", c.GrowthAt(16)),
+		}
+	}
+	return headers, out
+}

@@ -1,0 +1,246 @@
+package heuristics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
+)
+
+func bench512(seed uint64, class etc.Class) *etc.Instance {
+	return etc.Generate(class, 0, etc.GenerateOptions{Seed: seed})
+}
+
+func small(seed uint64) *etc.Instance {
+	return etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+		0, etc.GenerateOptions{Seed: seed, Jobs: 64, Machs: 8})
+}
+
+func allHeuristics() map[string]Heuristic {
+	out := map[string]Heuristic{}
+	for _, n := range Names() {
+		h, err := ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out[n] = h
+	}
+	return out
+}
+
+func TestAllProduceValidSchedules(t *testing.T) {
+	in := small(1)
+	for name, h := range allHeuristics() {
+		s := h(in)
+		if err := s.Validate(in); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	if h, err := ByName("min-min"); err != nil || h == nil {
+		t.Fatal("alias min-min should resolve")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	in := small(2)
+	for name, h := range allHeuristics() {
+		if !h(in).Equal(h(in)) {
+			t.Errorf("%s not deterministic", name)
+		}
+	}
+}
+
+func TestMETPicksRowMinimum(t *testing.T) {
+	in := small(3)
+	s := MET(in)
+	for j := 0; j < in.Jobs; j++ {
+		chosen := in.At(j, s[j])
+		for m := 0; m < in.Machs; m++ {
+			if in.At(j, m) < chosen {
+				t.Fatalf("job %d: machine %d (%v) beats chosen %d (%v)", j, m, in.At(j, m), s[j], chosen)
+			}
+		}
+	}
+}
+
+func TestMETCollapsesOnConsistent(t *testing.T) {
+	in := bench512(4, etc.Class{Consistency: etc.Consistent, JobHet: etc.Low, MachineHet: etc.Low})
+	s := MET(in)
+	first := s[0]
+	for _, m := range s {
+		if m != first {
+			t.Fatal("MET on a consistent matrix should use a single machine")
+		}
+	}
+}
+
+func TestMinMinBeatsRandomAndOLB(t *testing.T) {
+	in := small(5)
+	r := rng.New(6)
+	ms := func(s schedule.Schedule) float64 { return schedule.NewState(in, s).Makespan() }
+	mm := ms(MinMin(in))
+	if rnd := ms(schedule.NewRandom(in, r)); mm >= rnd {
+		t.Errorf("Min-Min (%v) should beat random (%v)", mm, rnd)
+	}
+	if olb := ms(OLB(in)); mm >= olb {
+		t.Errorf("Min-Min (%v) should beat OLB (%v) on heterogeneous instances", mm, olb)
+	}
+}
+
+func TestDuplexNoWorseThanBothParents(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		in := small(seed)
+		ms := func(s schedule.Schedule) float64 { return schedule.NewState(in, s).Makespan() }
+		d := ms(Duplex(in))
+		if mm, xm := ms(MinMin(in)), ms(MaxMin(in)); d > mm || d > xm {
+			if d > mm && d > xm {
+				t.Fatalf("seed %d: duplex %v worse than both min-min %v and max-min %v", seed, d, mm, xm)
+			}
+			t.Fatalf("seed %d: duplex did not pick the better parent", seed)
+		}
+	}
+}
+
+func TestLJFRSJFRPhase1LongestToFastest(t *testing.T) {
+	// 4 jobs, 2 machines: machine 0 uniformly faster.
+	in := etc.New("t", 4, 2)
+	// workloads: job3 longest ... job0 shortest
+	for j := 0; j < 4; j++ {
+		base := float64(j + 1)
+		in.Set(j, 0, base)   // fast machine
+		in.Set(j, 1, 2*base) // slow machine
+	}
+	in.Finalize()
+	s := LJFRSJFR(in)
+	// Phase 1 assigns the 2 longest jobs (3, 2): longest (3) to fastest (m0).
+	if s[3] != 0 {
+		t.Errorf("longest job on machine %d, want 0 (fastest)", s[3])
+	}
+	if s[2] != 1 {
+		t.Errorf("second longest job on machine %d, want 1", s[2])
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLJFRSJFRReasonableQuality(t *testing.T) {
+	// The seed heuristic should comfortably beat a random schedule on both
+	// objectives for a benchmark-sized instance.
+	in := bench512(7, etc.Class{Consistency: etc.Consistent, JobHet: etc.High, MachineHet: etc.High})
+	r := rng.New(8)
+	h := schedule.NewState(in, LJFRSJFR(in))
+	rnd := schedule.NewState(in, schedule.NewRandom(in, r))
+	if h.Makespan() >= rnd.Makespan() {
+		t.Errorf("LJFR-SJFR makespan %v not better than random %v", h.Makespan(), rnd.Makespan())
+	}
+	if h.Flowtime() >= rnd.Flowtime() {
+		t.Errorf("LJFR-SJFR flowtime %v not better than random %v", h.Flowtime(), rnd.Flowtime())
+	}
+}
+
+func TestSufferageValidAndCompetitive(t *testing.T) {
+	in := small(9)
+	s := Sufferage(in)
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	ms := schedule.NewState(in, s).Makespan()
+	olb := schedule.NewState(in, OLB(in)).Makespan()
+	if ms >= olb {
+		t.Errorf("Sufferage (%v) should beat OLB (%v)", ms, olb)
+	}
+}
+
+func TestMCTRespectsReadyTimes(t *testing.T) {
+	in := etc.New("t", 1, 2)
+	in.Set(0, 0, 10)
+	in.Set(0, 1, 12)
+	in.Ready[0] = 100 // machine 0 busy for a long time
+	in.Finalize()
+	s := MCT(in)
+	if s[0] != 1 {
+		t.Fatalf("MCT ignored ready time, chose machine %d", s[0])
+	}
+}
+
+func TestHeuristicOrderingOnBenchmark(t *testing.T) {
+	// Sanity ordering on a consistent hi-hi instance: min-min and
+	// sufferage should be among the strongest, MET degenerate.
+	in := bench512(10, etc.Class{Consistency: etc.Consistent, JobHet: etc.High, MachineHet: etc.High})
+	ms := map[string]float64{}
+	for name, h := range allHeuristics() {
+		ms[name] = schedule.NewState(in, h(in)).Makespan()
+	}
+	if ms["minmin"] >= ms["met"] {
+		t.Errorf("min-min (%v) should beat MET (%v) on consistent matrices", ms["minmin"], ms["met"])
+	}
+	if ms["ljfr-sjfr"] >= ms["met"] {
+		t.Errorf("ljfr-sjfr (%v) should beat MET (%v)", ms["ljfr-sjfr"], ms["met"])
+	}
+}
+
+func TestPropertyAllValidAcrossClasses(t *testing.T) {
+	classes := etc.AllClasses()
+	f := func(seed uint64, classIdx uint8) bool {
+		in := etc.Generate(classes[int(classIdx)%len(classes)], 0,
+			etc.GenerateOptions{Seed: seed, Jobs: 32, Machs: 6})
+		for _, h := range allHeuristics() {
+			if h(in).Validate(in) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMinMin512(b *testing.B) {
+	in := bench512(1, etc.Class{Consistency: etc.Consistent, JobHet: etc.High, MachineHet: etc.High})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinMin(in)
+	}
+}
+
+func BenchmarkLJFRSJFR512(b *testing.B) {
+	in := bench512(1, etc.Class{Consistency: etc.Consistent, JobHet: etc.High, MachineHet: etc.High})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LJFRSJFR(in)
+	}
+}
+
+func TestKPBBetweenMETAndMCT(t *testing.T) {
+	// On a consistent matrix MET collapses (terrible makespan); KPB's
+	// restriction to the best 20% machines must avoid that pathology and
+	// behave comparably to MCT.
+	in := bench512(20, etc.Class{Consistency: etc.Consistent, JobHet: etc.High, MachineHet: etc.High})
+	ms := func(s schedule.Schedule) float64 { return schedule.NewState(in, s).Makespan() }
+	kpb, met, mct := ms(KPB(in)), ms(MET(in)), ms(MCT(in))
+	if kpb >= met {
+		t.Errorf("KPB (%v) should beat MET (%v) on consistent matrices", kpb, met)
+	}
+	if kpb > 3*mct {
+		t.Errorf("KPB (%v) should be within 3x of MCT (%v)", kpb, mct)
+	}
+}
+
+func TestKPBUsesOnlyTopMachines(t *testing.T) {
+	// With 4 machines, k = max(1, 4/5) = 1: KPB degenerates to MET.
+	in := etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.Low, MachineHet: etc.Low},
+		0, etc.GenerateOptions{Seed: 21, Jobs: 20, Machs: 4})
+	if !KPB(in).Equal(MET(in)) {
+		t.Error("KPB with k=1 must equal MET")
+	}
+}

@@ -1,0 +1,202 @@
+// Package island implements the coarse-grained structured memetic
+// algorithm of the paper's §3.1 taxonomy: several cMA islands evolve in
+// parallel (one goroutine each) and periodically exchange individuals
+// over a unidirectional ring. The fine-grained (cellular) model is the
+// paper's contribution; the island wrapper lets the library cover the
+// other branch of the structured-population design space and gives a
+// natural multi-core scaling path on top of the sequential asynchronous
+// engine.
+//
+// Migration happens at segment boundaries: every MigrationEvery
+// iterations each island exports its population, sends its best Migrants
+// individuals to the next island on the ring (replacing that island's
+// worst), and resumes from the merged population. Results are
+// deterministic in the seed: island RNG streams and the migration shuffle
+// are all derived from it, and goroutine scheduling cannot affect the
+// outcome because migration is a full barrier.
+package island
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gridcma/internal/cma"
+	"gridcma/internal/etc"
+	"gridcma/internal/run"
+	"gridcma/internal/schedule"
+)
+
+// Config parameterises the island model.
+type Config struct {
+	// Islands is the number of parallel cMA populations (ring nodes).
+	Islands int
+	// MigrationEvery is the segment length in cMA iterations between
+	// exchanges.
+	MigrationEvery int
+	// Migrants is how many of an island's best individuals are copied to
+	// its ring successor at each exchange.
+	Migrants int
+	// Base configures every island's cMA.
+	Base cma.Config
+}
+
+// DefaultConfig returns 4 islands exchanging their 2 best individuals
+// every 5 iterations on the paper-tuned cMA.
+func DefaultConfig() Config {
+	return Config{Islands: 4, MigrationEvery: 5, Migrants: 2, Base: cma.DefaultConfig()}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Islands < 2:
+		return fmt.Errorf("island: need at least 2 islands, got %d", c.Islands)
+	case c.MigrationEvery < 1:
+		return fmt.Errorf("island: MigrationEvery %d", c.MigrationEvery)
+	case c.Migrants < 1:
+		return fmt.Errorf("island: Migrants %d", c.Migrants)
+	case c.Migrants >= c.Base.Width*c.Base.Height:
+		return fmt.Errorf("island: Migrants %d must be below the island population %d",
+			c.Migrants, c.Base.Width*c.Base.Height)
+	}
+	return c.Base.Validate()
+}
+
+// Scheduler is a reusable island-model scheduler.
+type Scheduler struct {
+	cfg   Config
+	inner *cma.Scheduler
+}
+
+// New validates cfg and builds the scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := cma.New(cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg, inner: inner}, nil
+}
+
+// Name identifies the algorithm in results.
+func (s *Scheduler) Name() string { return fmt.Sprintf("IslandCMA(%d)", s.cfg.Islands) }
+
+// Run executes the island model within budget. The iteration budget is
+// interpreted per island (all islands advance in lockstep segments); a
+// time budget bounds the whole ensemble.
+func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer) run.Result {
+	if !budget.Bounded() {
+		panic("island: unbounded budget")
+	}
+	start := time.Now()
+	n := s.cfg.Islands
+	pops := make([][]schedule.Schedule, n) // nil until first segment
+	results := make([]run.Result, n)
+
+	var best run.Result
+	totalIters := 0
+	var totalEvals int64
+
+	emit := func() {
+		if obs != nil && best.Best != nil {
+			obs(run.Progress{
+				Elapsed:   time.Since(start),
+				Iteration: totalIters,
+				Fitness:   best.Fitness,
+				Makespan:  best.Makespan,
+				Flowtime:  best.Flowtime,
+			})
+		}
+	}
+
+	for !budget.Done(totalIters, start) {
+		segIters := s.cfg.MigrationEvery
+		if budget.MaxIterations > 0 && totalIters+segIters > budget.MaxIterations {
+			segIters = budget.MaxIterations - totalIters
+		}
+		segBudget := run.Budget{MaxIterations: segIters}
+		if budget.MaxTime > 0 {
+			remaining := budget.MaxTime - time.Since(start)
+			if remaining <= 0 {
+				break
+			}
+			segBudget.MaxTime = remaining
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				// Per-island, per-segment deterministic seed.
+				islandSeed := seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15 ^ uint64(totalIters)*0xbf58476d1ce4e5b9
+				res, pop := s.inner.RunWithPopulation(in, segBudget, islandSeed, nil, pops[i])
+				results[i] = res
+				pops[i] = pop
+			}(i)
+		}
+		wg.Wait()
+
+		for i := 0; i < n; i++ {
+			totalEvals += results[i].Evals
+			if results[i].Better(best) {
+				best = results[i]
+			}
+		}
+		totalIters += segIters
+		s.migrate(in, pops)
+		emit()
+	}
+
+	best.Iterations = totalIters
+	best.Evals = totalEvals
+	best.Elapsed = time.Since(start)
+	best.Algorithm = s.Name()
+	return best
+}
+
+// migrate copies each island's Migrants best individuals to its ring
+// successor, replacing the successor's worst individuals.
+func (s *Scheduler) migrate(in *etc.Instance, pops [][]schedule.Schedule) {
+	n := len(pops)
+	o := s.cfg.Base.Objective
+	// Rank each island's population once.
+	type ranked struct {
+		order []int // indices best-first
+		fits  []float64
+	}
+	ranks := make([]ranked, n)
+	for i, pop := range pops {
+		fits := make([]float64, len(pop))
+		order := make([]int, len(pop))
+		for k, sched := range pop {
+			fits[k] = o.Evaluate(in, sched)
+			order[k] = k
+		}
+		sort.Slice(order, func(a, b int) bool { return fits[order[a]] < fits[order[b]] })
+		ranks[i] = ranked{order: order, fits: fits}
+	}
+	m := s.cfg.Migrants
+	// Collect emigrants first so a migrant is not forwarded twice in one
+	// exchange.
+	emigrants := make([][]schedule.Schedule, n)
+	for i, pop := range pops {
+		out := make([]schedule.Schedule, 0, m)
+		for k := 0; k < m && k < len(pop); k++ {
+			out = append(out, pop[ranks[i].order[k]].Clone())
+		}
+		emigrants[i] = out
+	}
+	for i := range pops {
+		dst := (i + 1) % n
+		order := ranks[dst].order
+		for k, mig := range emigrants[i] {
+			victim := order[len(order)-1-k] // worst, second-worst, ...
+			pops[dst][victim] = mig
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package localsearch implements the memetic component of the paper's
+// cellular algorithm: the three studied local search methods — Local Move
+// (LM), Steepest Local Move (SLM) and Local Minimum Completion Time Swap
+// (LMCTS, the tuned choice) — plus a sampled LMCTS variant and a
+// variable-neighborhood chain used by the extension benches.
+//
+// Every method improves a live schedule.State in place, runs for a bounded
+// number of iterations (Table 1: nb_local_search_iterations = 5) and never
+// worsens the objective: each proposed step is applied only if it improves
+// the scalarised fitness.
+package localsearch
+
+import (
+	"fmt"
+	"math"
+
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
+)
+
+// Method is a bounded-effort improvement procedure.
+type Method interface {
+	// Improve applies up to iters improvement attempts to st under
+	// objective o. It must leave st no worse than it found it.
+	Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source)
+	Name() string
+}
+
+// ByName resolves a method from its paper acronym.
+func ByName(s string) (Method, error) {
+	switch s {
+	case "LM", "lm":
+		return LM{}, nil
+	case "SLM", "slm":
+		return SLM{}, nil
+	case "LMCTS", "lmcts":
+		return LMCTS{}, nil
+	case "LMCTS-sampled", "lmcts-sampled":
+		return SampledLMCTS{Samples: 64}, nil
+	case "VND", "vnd":
+		return Chain{LM{}, SLM{}, LMCTS{}}, nil
+	case "none", "":
+		return None{}, nil
+	default:
+		return nil, fmt.Errorf("localsearch: unknown method %q", s)
+	}
+}
+
+// Names lists the methods available through ByName.
+func Names() []string { return []string{"LM", "SLM", "LMCTS", "LMCTS-sampled", "VND", "none"} }
+
+// None is the identity method: a cMA with None degenerates to a cellular
+// GA, which the ablation benches exploit.
+type None struct{}
+
+// Improve implements Method.
+func (None) Improve(*schedule.State, schedule.Objective, int, *rng.Source) {}
+
+// Name implements Method.
+func (None) Name() string { return "none" }
+
+// LM (Local Move) proposes a uniformly random job-to-machine move each
+// iteration and keeps it only if the fitness improves.
+type LM struct{}
+
+// Improve implements Method.
+func (LM) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
+	in := st.Instance()
+	for k := 0; k < iters; k++ {
+		j := r.Intn(in.Jobs)
+		to := r.Intn(in.Machs)
+		from := st.Assign(j)
+		if from == to {
+			continue
+		}
+		before := o.Of(st)
+		st.Move(j, to)
+		if o.Of(st) >= before {
+			st.Move(j, from) // revert
+		}
+	}
+}
+
+// Name implements Method.
+func (LM) Name() string { return "LM" }
+
+// SLM (Steepest Local Move) picks a random job and transfers it to the
+// machine yielding the best fitness among all targets, if that improves on
+// the current assignment.
+type SLM struct{}
+
+// Improve implements Method.
+func (SLM) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
+	in := st.Instance()
+	for k := 0; k < iters; k++ {
+		j := r.Intn(in.Jobs)
+		from := st.Assign(j)
+		bestFit := o.Of(st)
+		bestTo := from
+		for to := 0; to < in.Machs; to++ {
+			if to == from {
+				continue
+			}
+			st.Move(j, to)
+			if f := o.Of(st); f < bestFit {
+				bestFit, bestTo = f, to
+			}
+			st.Move(j, from)
+		}
+		if bestTo != from {
+			st.Move(j, bestTo)
+		}
+	}
+}
+
+// Name implements Method.
+func (SLM) Name() string { return "SLM" }
+
+// LMCTS (Local Minimum Completion Time Swap) is the tuned method of the
+// paper: swap two jobs on different machines, choosing the pair that best
+// reduces completion time. The candidate set pairs every job on the
+// current critical (makespan) machine with every job on the other
+// machines; the swap minimising the larger of the two new completion times
+// is applied when it improves the fitness.
+type LMCTS struct{}
+
+// Improve implements Method.
+func (LMCTS) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
+	for k := 0; k < iters; k++ {
+		if !bestCriticalSwap(st, o, nil) {
+			return // local optimum for this neighborhood
+		}
+	}
+}
+
+// Name implements Method.
+func (LMCTS) Name() string { return "LMCTS" }
+
+// SampledLMCTS is LMCTS with the partner side sampled: instead of scanning
+// all jobs on non-critical machines it examines at most Samples random
+// partners per iteration. It trades solution quality per step for a large
+// constant-factor speedup on big instances.
+type SampledLMCTS struct {
+	Samples int
+}
+
+// Improve implements Method.
+func (s SampledLMCTS) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
+	n := s.Samples
+	if n <= 0 {
+		n = 64
+	}
+	for k := 0; k < iters; k++ {
+		if !bestCriticalSwap(st, o, func(in int) []int {
+			out := make([]int, n)
+			for i := range out {
+				out[i] = r.Intn(in)
+			}
+			return out
+		}) {
+			return
+		}
+	}
+}
+
+// Name implements Method.
+func (s SampledLMCTS) Name() string { return "LMCTS-sampled" }
+
+// bestCriticalSwap performs one steepest swap step between the critical
+// machine and the rest. partnerSampler, when non-nil, returns the candidate
+// partner jobs given nb_jobs; nil means all jobs. Returns whether a swap
+// was applied.
+func bestCriticalSwap(st *schedule.State, o schedule.Objective, partnerSampler func(int) []int) bool {
+	in := st.Instance()
+	crit := st.MakespanMachine()
+	critJobs := st.JobsOn(crit)
+	if len(critJobs) == 0 {
+		return false
+	}
+	critC := st.Completion(crit)
+
+	bestA, bestB := -1, -1
+	bestMax := critC // any accepted swap must reduce the critical completion pair
+	consider := func(a, b int) {
+		// a on critical machine, b elsewhere.
+		aC, bC := st.CompletionAfterSwap(a, b)
+		m := math.Max(aC, bC)
+		if m < bestMax {
+			bestMax, bestA, bestB = m, a, b
+		}
+	}
+
+	if partnerSampler == nil {
+		for _, a := range critJobs {
+			for b := 0; b < in.Jobs; b++ {
+				if st.Assign(b) == crit {
+					continue
+				}
+				consider(int(a), b)
+			}
+		}
+	} else {
+		for _, a := range critJobs {
+			for _, b := range partnerSampler(in.Jobs) {
+				if st.Assign(b) == crit {
+					continue
+				}
+				consider(int(a), b)
+			}
+		}
+	}
+	if bestA < 0 {
+		return false
+	}
+	// Completion improved; also require the scalarised fitness not to
+	// regress (flowtime could in principle degrade more than makespan
+	// gains).
+	before := o.Of(st)
+	st.Swap(bestA, bestB)
+	if o.Of(st) >= before {
+		st.Swap(bestA, bestB)
+		return false
+	}
+	return true
+}
+
+// Chain applies each method in sequence, splitting the iteration budget
+// evenly (remainder to the first methods) — a minimal variable
+// neighborhood descent.
+type Chain []Method
+
+// Improve implements Method.
+func (c Chain) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
+	if len(c) == 0 {
+		return
+	}
+	per := iters / len(c)
+	rem := iters % len(c)
+	for i, m := range c {
+		n := per
+		if i < rem {
+			n++
+		}
+		if n > 0 {
+			m.Improve(st, o, n, r)
+		}
+	}
+}
+
+// Name implements Method.
+func (c Chain) Name() string {
+	s := "Chain("
+	for i, m := range c {
+		if i > 0 {
+			s += "+"
+		}
+		s += m.Name()
+	}
+	return s + ")"
+}

@@ -1,0 +1,101 @@
+package operators
+
+import (
+	"fmt"
+
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
+)
+
+// Crossover recombines two parent schedules into a child. Implementations
+// write into child (same length as the parents) and must not retain any of
+// the slices; parents are read-only. The direct (job → machine) encoding
+// makes every crossover result feasible by construction.
+type Crossover interface {
+	Cross(a, b schedule.Schedule, child schedule.Schedule, r *rng.Source)
+	Name() string
+}
+
+// OnePoint is the paper's recombination: split both parents at a random
+// point and join the head of one with the tail of the other.
+type OnePoint struct{}
+
+// Cross implements Crossover.
+func (OnePoint) Cross(a, b schedule.Schedule, child schedule.Schedule, r *rng.Source) {
+	checkLens(a, b, child)
+	// Cut in [1, n-1] so both parents contribute when n > 1.
+	n := len(a)
+	if n == 1 {
+		child[0] = a[0]
+		return
+	}
+	cut := 1 + r.Intn(n-1)
+	copy(child[:cut], a[:cut])
+	copy(child[cut:], b[cut:])
+}
+
+// Name implements Crossover.
+func (OnePoint) Name() string { return "One-Point" }
+
+// TwoPoint exchanges the segment between two random cut points.
+type TwoPoint struct{}
+
+// Cross implements Crossover.
+func (TwoPoint) Cross(a, b schedule.Schedule, child schedule.Schedule, r *rng.Source) {
+	checkLens(a, b, child)
+	n := len(a)
+	if n < 3 {
+		OnePoint{}.Cross(a, b, child, r)
+		return
+	}
+	i, j := r.Intn(n), r.Intn(n)
+	if i > j {
+		i, j = j, i
+	}
+	copy(child, a)
+	copy(child[i:j], b[i:j])
+}
+
+// Name implements Crossover.
+func (TwoPoint) Name() string { return "Two-Point" }
+
+// Uniform picks each gene from either parent with probability ½.
+type Uniform struct{}
+
+// Cross implements Crossover.
+func (Uniform) Cross(a, b schedule.Schedule, child schedule.Schedule, r *rng.Source) {
+	checkLens(a, b, child)
+	for i := range child {
+		if r.Bool(0.5) {
+			child[i] = a[i]
+		} else {
+			child[i] = b[i]
+		}
+	}
+}
+
+// Name implements Crossover.
+func (Uniform) Name() string { return "Uniform" }
+
+func checkLens(a, b, child schedule.Schedule) {
+	if len(a) != len(b) || len(a) != len(child) {
+		panic(fmt.Sprintf("operators: crossover length mismatch %d/%d/%d", len(a), len(b), len(child)))
+	}
+	if len(a) == 0 {
+		panic("operators: crossover on empty schedules")
+	}
+}
+
+// ParseCrossover resolves a crossover by name.
+func ParseCrossover(s string) (Crossover, error) {
+	switch s {
+	case "one-point", "onepoint", "One-Point":
+		return OnePoint{}, nil
+	case "two-point", "twopoint", "Two-Point":
+		return TwoPoint{}, nil
+	case "uniform", "Uniform":
+		return Uniform{}, nil
+	default:
+		return nil, fmt.Errorf("operators: unknown crossover %q", s)
+	}
+}

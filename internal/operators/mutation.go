@@ -1,0 +1,133 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
+)
+
+// Mutator perturbs an evaluated schedule in place. Mutators receive the
+// live State (not just the raw vector) because the paper's rebalance
+// mutation is load-aware: it needs completion times and the makespan.
+type Mutator interface {
+	Mutate(st *schedule.State, r *rng.Source)
+	Name() string
+}
+
+// Move reassigns one random job to a random machine — the simplest
+// mutation, also the per-step proposal of the LM local search.
+type Move struct{}
+
+// Mutate implements Mutator.
+func (Move) Mutate(st *schedule.State, r *rng.Source) {
+	in := st.Instance()
+	st.Move(r.Intn(in.Jobs), r.Intn(in.Machs))
+}
+
+// Name implements Mutator.
+func (Move) Name() string { return "Move" }
+
+// Swap exchanges the machines of two random jobs.
+type Swap struct{}
+
+// Mutate implements Mutator.
+func (Swap) Mutate(st *schedule.State, r *rng.Source) {
+	in := st.Instance()
+	st.Swap(r.Intn(in.Jobs), r.Intn(in.Jobs))
+}
+
+// Name implements Mutator.
+func (Swap) Name() string { return "Swap" }
+
+// Rebalance is the paper's mutation: transfer a job from an overloaded
+// machine (load_factor = completion/makespan = 1, i.e. a machine attaining
+// the makespan) to one of the less loaded machines — the first
+// LessLoadedFraction of machines in increasing completion-time order.
+type Rebalance struct {
+	// LessLoadedFraction is the fraction of machines (by ascending
+	// completion time) considered transfer targets. The paper uses 0.25.
+	LessLoadedFraction float64
+}
+
+// DefaultRebalance is the paper's configuration.
+var DefaultRebalance = Rebalance{LessLoadedFraction: 0.25}
+
+// Mutate implements Mutator.
+func (rb Rebalance) Mutate(st *schedule.State, r *rng.Source) {
+	in := st.Instance()
+	makespan := st.Makespan()
+	if makespan == 0 {
+		return
+	}
+	// Overloaded machines: load factor 1 within float tolerance.
+	var overloaded []int
+	for m := 0; m < in.Machs; m++ {
+		if st.Completion(m) >= makespan*(1-1e-12) {
+			overloaded = append(overloaded, m)
+		}
+	}
+	// Pick a random overloaded machine that actually has jobs.
+	r.Shuffle(len(overloaded), func(i, j int) {
+		overloaded[i], overloaded[j] = overloaded[j], overloaded[i]
+	})
+	src := -1
+	for _, m := range overloaded {
+		if len(st.JobsOn(m)) > 0 {
+			src = m
+			break
+		}
+	}
+	if src < 0 {
+		return // all load is ready-time; nothing to transfer
+	}
+
+	// Less loaded targets: first fraction of machines by completion time.
+	order := make([]int, in.Machs)
+	for m := range order {
+		order[m] = m
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := st.Completion(order[a]), st.Completion(order[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	k := int(rb.fraction() * float64(in.Machs))
+	if k < 1 {
+		k = 1
+	}
+	targets := order[:k]
+	dst := targets[r.Intn(len(targets))]
+	if dst == src {
+		return
+	}
+	jobs := st.JobsOn(src)
+	st.Move(int(jobs[r.Intn(len(jobs))]), dst)
+}
+
+func (rb Rebalance) fraction() float64 {
+	if rb.LessLoadedFraction <= 0 || rb.LessLoadedFraction > 1 {
+		return 0.25
+	}
+	return rb.LessLoadedFraction
+}
+
+// Name implements Mutator.
+func (Rebalance) Name() string { return "Rebalance" }
+
+// ParseMutator resolves a mutator by name.
+func ParseMutator(s string) (Mutator, error) {
+	switch s {
+	case "move", "Move":
+		return Move{}, nil
+	case "swap", "Swap":
+		return Swap{}, nil
+	case "rebalance", "Rebalance":
+		return DefaultRebalance, nil
+	default:
+		return nil, fmt.Errorf("operators: unknown mutator %q", s)
+	}
+}

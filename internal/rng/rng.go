@@ -1,0 +1,128 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the library.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// run of every algorithm must be replayable from a single uint64 seed. The
+// standard library's math/rand global generator is shared mutable state and
+// math/rand/v2 is not seedable per-stream in older toolchains, so we carry
+// our own generator: xoshiro256** seeded through splitmix64, the combination
+// recommended by the xoshiro authors. It is not cryptographically secure and
+// does not need to be.
+//
+// A *Source is NOT safe for concurrent use. Concurrent components derive
+// independent streams with Split, which is cheap and gives statistically
+// independent sequences.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic xoshiro256** PRNG. The zero value is invalid;
+// construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next splitmix64 output. It is used
+// to expand a single seed into the 256-bit xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds give independent
+// streams; the same seed always yields the same sequence.
+func New(seed uint64) *Source {
+	var r Source
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// All-zero state is the one forbidden state of xoshiro; splitmix64 of
+	// any seed cannot produce it, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is independent of r's future
+// output. It consumes one value from r.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Source) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Pick returns a uniformly chosen element index from a non-empty slice
+// length n, as a convenience mirror of Intn with clearer call sites.
+func (r *Source) Pick(n int) int { return r.Intn(n) }

@@ -1,0 +1,78 @@
+// Package run holds the small vocabulary shared by every metaheuristic in
+// the library: termination budgets, run results and progress observers.
+// Keeping these types in one leaf package lets the cMA, the baseline GAs,
+// simulated annealing and tabu search expose one uniform Run signature
+// that the experiment harness and the dynamic grid simulator can drive
+// interchangeably.
+package run
+
+import (
+	"time"
+
+	"gridcma/internal/schedule"
+)
+
+// Budget bounds a run. A zero field means "unlimited"; at least one bound
+// must be set or the run would never terminate.
+type Budget struct {
+	// MaxTime stops the run after a wall-clock duration. The paper uses
+	// 90 s (Table 1).
+	MaxTime time.Duration
+	// MaxIterations stops after this many engine iterations (generations
+	// for the GAs, update sweeps for the cMA, proposals for SA/TS).
+	MaxIterations int
+}
+
+// Bounded reports whether at least one bound is set.
+func (b Budget) Bounded() bool { return b.MaxTime > 0 || b.MaxIterations > 0 }
+
+// Done reports whether the budget is exhausted at the given iteration
+// count and start time.
+func (b Budget) Done(iter int, start time.Time) bool {
+	if b.MaxIterations > 0 && iter >= b.MaxIterations {
+		return true
+	}
+	if b.MaxTime > 0 && time.Since(start) >= b.MaxTime {
+		return true
+	}
+	return false
+}
+
+// Progress is one observation of a running search.
+type Progress struct {
+	Elapsed   time.Duration
+	Iteration int
+	// Best-so-far values of the scalarised fitness and both objectives.
+	Fitness  float64
+	Makespan float64
+	Flowtime float64
+}
+
+// Observer receives progress samples. A nil Observer is legal everywhere
+// and means "don't observe". Observers are called from the search
+// goroutine; they must be fast.
+type Observer func(Progress)
+
+// Result is the outcome of one metaheuristic run.
+type Result struct {
+	Best       schedule.Schedule // best schedule found
+	Fitness    float64           // scalarised fitness of Best
+	Makespan   float64
+	Flowtime   float64
+	Iterations int           // iterations actually executed
+	Evals      int64         // full fitness evaluations performed
+	Elapsed    time.Duration // wall-clock time consumed
+	Algorithm  string        // name of the producing algorithm
+}
+
+// Better reports whether r improves on other (lower fitness wins; an empty
+// result — no Best yet — always loses).
+func (r Result) Better(other Result) bool {
+	if r.Best == nil {
+		return false
+	}
+	if other.Best == nil {
+		return true
+	}
+	return r.Fitness < other.Fitness
+}

@@ -1,0 +1,89 @@
+package sa
+
+import (
+	"testing"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/run"
+	"gridcma/internal/schedule"
+)
+
+func testInstance(seed uint64) *etc.Instance {
+	return etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+		0, etc.GenerateOptions{Seed: seed, Jobs: 96, Machs: 8})
+}
+
+func TestRunImprovesOnSeed(t *testing.T) {
+	in := testInstance(1)
+	cfg := DefaultConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(in, run.Budget{MaxIterations: 60}, 42, nil)
+	if err := res.Best.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	seedFit := schedule.DefaultObjective.Evaluate(in, cfg.SeedHeuristic(in))
+	if res.Fitness >= seedFit {
+		t.Errorf("SA %v did not improve on Min-Min %v", res.Fitness, seedFit)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	in := testInstance(2)
+	s, _ := New(DefaultConfig())
+	a := s.Run(in, run.Budget{MaxIterations: 20}, 7, nil)
+	b := s.Run(in, run.Budget{MaxIterations: 20}, 7, nil)
+	if !a.Best.Equal(b.Best) {
+		t.Fatal("same seed, different results")
+	}
+}
+
+func TestRandomStartWithoutSeedHeuristic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SeedHeuristic = nil
+	s, _ := New(cfg)
+	res := s.Run(testInstance(3), run.Budget{MaxIterations: 10}, 1, nil)
+	if res.Best == nil {
+		t.Fatal("no result")
+	}
+}
+
+func TestBestMonotoneUnderObserver(t *testing.T) {
+	in := testInstance(4)
+	s, _ := New(DefaultConfig())
+	var fits []float64
+	s.Run(in, run.Budget{MaxIterations: 30}, 5, func(p run.Progress) {
+		fits = append(fits, p.Fitness)
+	})
+	for i := 1; i < len(fits); i++ {
+		if fits[i] > fits[i-1]+1e-9 {
+			t.Fatal("best fitness regressed")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{InitialTempFactor: 0, Cooling: 0.9, Objective: schedule.DefaultObjective},
+		{InitialTempFactor: 0.1, Cooling: 1.0, Objective: schedule.DefaultObjective},
+		{InitialTempFactor: 0.1, Cooling: 0.9, SweepLength: -1, Objective: schedule.DefaultObjective},
+		{InitialTempFactor: 0.1, Cooling: 0.9, Objective: schedule.Objective{Lambda: -1}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestUnboundedBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s, _ := New(DefaultConfig())
+	s.Run(testInstance(5), run.Budget{}, 1, nil)
+}

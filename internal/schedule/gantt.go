@@ -1,0 +1,88 @@
+package schedule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Gantt renders an ASCII per-machine timeline of the evaluated schedule,
+// width columns wide, scaled to the makespan. Each machine row shows its
+// busy span ('█' for ready time carried over, '▒' for scheduled work),
+// its completion time and job count — the quick visual answer to "is this
+// schedule balanced?".
+func (st *State) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	ms := st.Makespan()
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.2f  flowtime %.2f  (%d jobs on %d machines)\n",
+		ms, st.Flowtime(), st.inst.Jobs, st.inst.Machs)
+	if ms == 0 {
+		return b.String()
+	}
+	scale := float64(width) / ms
+	for m := 0; m < st.inst.Machs; m++ {
+		ready := st.inst.Ready[m]
+		comp := st.Completion(m)
+		readyCols := int(ready * scale)
+		busyCols := int((comp - ready) * scale)
+		if comp > ready && busyCols == 0 {
+			busyCols = 1 // visible sliver for tiny loads
+		}
+		if readyCols+busyCols > width {
+			busyCols = width - readyCols
+		}
+		fmt.Fprintf(&b, "m%02d |%s%s%s| %10.2f  (%d jobs)\n",
+			m,
+			strings.Repeat("█", readyCols),
+			strings.Repeat("▒", busyCols),
+			strings.Repeat(" ", width-readyCols-busyCols),
+			comp, len(st.JobsOn(m)))
+	}
+	return b.String()
+}
+
+// WriteAssignments writes the schedule as CSV rows
+// (job, machine, etc, start, finish), with jobs in per-machine SPT order —
+// loadable into any plotting tool for a real Gantt chart.
+func (st *State) WriteAssignments(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("job,machine,etc,start,finish\n"); err != nil {
+		return err
+	}
+	for m := 0; m < st.inst.Machs; m++ {
+		t := st.inst.Ready[m]
+		for _, j := range st.JobsOn(m) {
+			e := st.inst.At(int(j), m)
+			fmt.Fprintf(bw, "%d,%d,%.6f,%.6f,%.6f\n", j, m, e, t, t+e)
+			t += e
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSummary returns per-machine (completion, jobs) pairs plus the
+// imbalance ratio max/mean completion — 1.0 is a perfectly balanced
+// schedule.
+func (st *State) LoadSummary() (completions []float64, jobs []int, imbalance float64) {
+	completions = make([]float64, st.inst.Machs)
+	jobs = make([]int, st.inst.Machs)
+	sum := 0.0
+	max := 0.0
+	for m := 0; m < st.inst.Machs; m++ {
+		completions[m] = st.Completion(m)
+		jobs[m] = len(st.JobsOn(m))
+		sum += completions[m]
+		if completions[m] > max {
+			max = completions[m]
+		}
+	}
+	mean := sum / float64(st.inst.Machs)
+	if mean > 0 {
+		imbalance = max / mean
+	}
+	return completions, jobs, imbalance
+}

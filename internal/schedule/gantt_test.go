@@ -1,0 +1,90 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gridcma/internal/rng"
+)
+
+func TestGanttRendersAllMachines(t *testing.T) {
+	in := randInstance(1, 20, 4)
+	st := NewState(in, NewRandom(in, rng.New(2)))
+	out := st.Gantt(40)
+	for _, want := range []string{"m00", "m01", "m02", "m03", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 machines
+		t.Errorf("%d lines", len(lines))
+	}
+}
+
+func TestGanttShowsReadyTime(t *testing.T) {
+	in := tiny(t)
+	in.Ready[0] = 100
+	st := NewState(in, Schedule{0, 1, 0})
+	out := st.Gantt(40)
+	if !strings.Contains(out, "█") {
+		t.Error("ready-time block not rendered")
+	}
+}
+
+func TestGanttTinyWidthClamped(t *testing.T) {
+	in := tiny(t)
+	st := NewState(in, Schedule{0, 1, 0})
+	if out := st.Gantt(1); out == "" {
+		t.Error("empty gantt")
+	}
+}
+
+func TestWriteAssignmentsConsistent(t *testing.T) {
+	in := randInstance(3, 30, 5)
+	st := NewState(in, NewRandom(in, rng.New(4)))
+	var buf bytes.Buffer
+	if err := st.WriteAssignments(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != in.Jobs+1 {
+		t.Fatalf("%d lines, want %d", len(lines), in.Jobs+1)
+	}
+	if lines[0] != "job,machine,etc,start,finish" {
+		t.Errorf("header %q", lines[0])
+	}
+}
+
+func TestLoadSummary(t *testing.T) {
+	in := tiny(t)
+	st := NewState(in, Schedule{0, 1, 0})
+	comps, jobs, imb := st.LoadSummary()
+	if comps[0] != 7 || comps[1] != 3 {
+		t.Errorf("completions %v", comps)
+	}
+	if jobs[0] != 2 || jobs[1] != 1 {
+		t.Errorf("jobs %v", jobs)
+	}
+	// mean = 5, max = 7 -> imbalance 1.4.
+	if imb != 1.4 {
+		t.Errorf("imbalance %v, want 1.4", imb)
+	}
+}
+
+func TestLoadSummaryBalancedIsOne(t *testing.T) {
+	in := tiny(t)
+	// Place jobs so both machines complete at 5: job2 (5) on m0... job0
+	// (2) and job1 (3) don't fit exactly; use all ETC=1 instance instead.
+	in2 := randInstance(5, 8, 2)
+	for i := range in2.ETC {
+		in2.ETC[i] = 1
+	}
+	st := NewState(in2, Schedule{0, 0, 0, 0, 1, 1, 1, 1})
+	_, _, imb := st.LoadSummary()
+	if imb != 1 {
+		t.Errorf("imbalance %v, want 1", imb)
+	}
+	_ = in
+}

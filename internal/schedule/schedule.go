@@ -1,0 +1,97 @@
+// Package schedule defines the solution representation shared by every
+// scheduler in this library and an incremental evaluator for the two
+// objectives of the paper, makespan and flowtime.
+//
+// A schedule is the paper's direct representation: a vector of length
+// nb_jobs whose j-th entry is the machine that runs job j. The evaluator
+// (State) maintains per-machine completion times and flowtime under
+// single-job moves and two-job swaps, which is what makes the local search
+// methods (LM, SLM, LMCTS) and the rebalance mutation affordable inside a
+// tight time budget.
+package schedule
+
+import (
+	"fmt"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/rng"
+)
+
+// Schedule maps each job to the machine that executes it.
+type Schedule []int
+
+// NewRandom returns a uniformly random schedule for the instance.
+func NewRandom(in *etc.Instance, r *rng.Source) Schedule {
+	s := make(Schedule, in.Jobs)
+	for j := range s {
+		s[j] = r.Intn(in.Machs)
+	}
+	return s
+}
+
+// Clone returns an independent copy.
+func (s Schedule) Clone() Schedule {
+	return append(Schedule(nil), s...)
+}
+
+// CopyFrom overwrites s with src (lengths must match).
+func (s Schedule) CopyFrom(src Schedule) {
+	if len(s) != len(src) {
+		panic(fmt.Sprintf("schedule: CopyFrom length mismatch %d != %d", len(s), len(src)))
+	}
+	copy(s, src)
+}
+
+// Equal reports whether two schedules assign every job identically.
+func (s Schedule) Equal(t Schedule) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hamming returns the number of jobs assigned to different machines in s
+// and t. It is the similarity metric of the Struggle GA replacement.
+func (s Schedule) Hamming(t Schedule) int {
+	if len(s) != len(t) {
+		panic(fmt.Sprintf("schedule: Hamming length mismatch %d != %d", len(s), len(t)))
+	}
+	d := 0
+	for i := range s {
+		if s[i] != t[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Validate checks that every assignment is a legal machine index for in.
+func (s Schedule) Validate(in *etc.Instance) error {
+	if len(s) != in.Jobs {
+		return fmt.Errorf("schedule: length %d, want %d jobs", len(s), in.Jobs)
+	}
+	for j, m := range s {
+		if m < 0 || m >= in.Machs {
+			return fmt.Errorf("schedule: job %d assigned to invalid machine %d", j, m)
+		}
+	}
+	return nil
+}
+
+// Perturb reassigns a random fraction frac of jobs to random machines,
+// in place. The paper builds the initial population from one LJFR-SJFR
+// seed by "large perturbations"; Perturb(s, r, 0.3) is that operation.
+func Perturb(s Schedule, in *etc.Instance, r *rng.Source, frac float64) {
+	n := int(frac * float64(len(s)))
+	if n < 1 {
+		n = 1
+	}
+	for k := 0; k < n; k++ {
+		s[r.Intn(len(s))] = r.Intn(in.Machs)
+	}
+}

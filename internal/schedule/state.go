@@ -1,0 +1,258 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridcma/internal/etc"
+)
+
+// State is an incrementally maintained evaluation of one schedule.
+//
+// Per machine it tracks the set of assigned jobs sorted ascending by ETC
+// (shortest-processing-time order, the per-machine sequencing convention
+// for flowtime on this benchmark), the completion time
+//
+//	completion[m] = ready[m] + Σ_{j on m} ETC[j][m]
+//
+// and the machine's flowtime contribution. Move and Swap update these in
+// O(jobs-on-machine); makespan is the max over machines (nb_machines is 16
+// in the benchmark, so a scan is effectively free).
+type State struct {
+	inst       *etc.Instance
+	assign     Schedule
+	machJobs   [][]int32 // per machine, job ids sorted by (ETC, id)
+	completion []float64
+	machFlow   []float64
+	flowtime   float64
+}
+
+// NewState evaluates s against in. The schedule is copied; the State owns
+// its copy and keeps it in sync under Move/Swap.
+func NewState(in *etc.Instance, s Schedule) *State {
+	if err := s.Validate(in); err != nil {
+		panic(err)
+	}
+	st := &State{
+		inst:       in,
+		assign:     s.Clone(),
+		machJobs:   make([][]int32, in.Machs),
+		completion: make([]float64, in.Machs),
+		machFlow:   make([]float64, in.Machs),
+	}
+	st.rebuild()
+	return st
+}
+
+// rebuild recomputes all derived state from st.assign.
+func (st *State) rebuild() {
+	for m := range st.machJobs {
+		st.machJobs[m] = st.machJobs[m][:0]
+	}
+	for j, m := range st.assign {
+		st.machJobs[m] = append(st.machJobs[m], int32(j))
+	}
+	st.flowtime = 0
+	for m := range st.machJobs {
+		jobs := st.machJobs[m]
+		sort.Slice(jobs, func(a, b int) bool { return st.less(jobs[a], jobs[b], m) })
+		st.refreshMachine(m)
+		st.flowtime += st.machFlow[m]
+	}
+}
+
+// less orders jobs on machine m by (ETC, job id); the id tiebreak makes the
+// per-machine order — and therefore flowtime — deterministic.
+func (st *State) less(a, b int32, m int) bool {
+	ea, eb := st.inst.At(int(a), m), st.inst.At(int(b), m)
+	if ea != eb {
+		return ea < eb
+	}
+	return a < b
+}
+
+// refreshMachine recomputes completion and flowtime of machine m from its
+// (already sorted) job list.
+func (st *State) refreshMachine(m int) {
+	jobs := st.machJobs[m]
+	ready := st.inst.Ready[m]
+	t := ready
+	flow := 0.0
+	for _, j := range jobs {
+		t += st.inst.At(int(j), m)
+		flow += t
+	}
+	st.completion[m] = t
+	st.machFlow[m] = flow
+}
+
+// Instance returns the instance this state evaluates against.
+func (st *State) Instance() *etc.Instance { return st.inst }
+
+// Assign returns the machine currently running job j.
+func (st *State) Assign(j int) int { return st.assign[j] }
+
+// Schedule returns a copy of the current schedule.
+func (st *State) Schedule() Schedule { return st.assign.Clone() }
+
+// ScheduleView returns the underlying schedule without copying. Callers
+// must not mutate it; use Move/Swap instead.
+func (st *State) ScheduleView() Schedule { return st.assign }
+
+// Completion returns the completion time of machine m.
+func (st *State) Completion(m int) float64 { return st.completion[m] }
+
+// JobsOn returns the jobs of machine m in SPT order. Callers must not
+// mutate the returned slice.
+func (st *State) JobsOn(m int) []int32 { return st.machJobs[m] }
+
+// Makespan returns the finishing time of the latest machine.
+func (st *State) Makespan() float64 {
+	max := 0.0
+	for _, c := range st.completion {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MakespanMachine returns the index of a machine attaining the makespan.
+func (st *State) MakespanMachine() int {
+	best, arg := math.Inf(-1), 0
+	for m, c := range st.completion {
+		if c > best {
+			best, arg = c, m
+		}
+	}
+	return arg
+}
+
+// Flowtime returns the sum of job finishing times.
+func (st *State) Flowtime() float64 { return st.flowtime }
+
+// MeanFlowtime returns flowtime divided by the number of machines, the
+// magnitude-normalised quantity the paper's fitness uses.
+func (st *State) MeanFlowtime() float64 {
+	return st.flowtime / float64(st.inst.Machs)
+}
+
+// remove deletes job j from machine m's list; the caller refreshes.
+func (st *State) remove(j int, m int) {
+	jobs := st.machJobs[m]
+	for i, x := range jobs {
+		if x == int32(j) {
+			st.machJobs[m] = append(jobs[:i], jobs[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("schedule: job %d not on machine %d", j, m))
+}
+
+// insert places job j into machine m's list keeping SPT order.
+func (st *State) insert(j int, m int) {
+	jobs := st.machJobs[m]
+	pos := sort.Search(len(jobs), func(i int) bool { return !st.less(jobs[i], int32(j), m) })
+	jobs = append(jobs, 0)
+	copy(jobs[pos+1:], jobs[pos:])
+	jobs[pos] = int32(j)
+	st.machJobs[m] = jobs
+}
+
+// Move reassigns job j to machine to, updating all derived quantities.
+// Moving a job to its current machine is a no-op.
+func (st *State) Move(j, to int) {
+	from := st.assign[j]
+	if from == to {
+		return
+	}
+	st.flowtime -= st.machFlow[from] + st.machFlow[to]
+	st.remove(j, from)
+	st.insert(j, to)
+	st.assign[j] = to
+	st.refreshMachine(from)
+	st.refreshMachine(to)
+	st.flowtime += st.machFlow[from] + st.machFlow[to]
+}
+
+// Swap exchanges the machines of jobs a and b. Swapping jobs on the same
+// machine is a no-op.
+func (st *State) Swap(a, b int) {
+	ma, mb := st.assign[a], st.assign[b]
+	if ma == mb {
+		return
+	}
+	st.flowtime -= st.machFlow[ma] + st.machFlow[mb]
+	st.remove(a, ma)
+	st.remove(b, mb)
+	st.insert(a, mb)
+	st.insert(b, ma)
+	st.assign[a], st.assign[b] = mb, ma
+	st.refreshMachine(ma)
+	st.refreshMachine(mb)
+	st.flowtime += st.machFlow[ma] + st.machFlow[mb]
+}
+
+// CompletionAfterMove returns, in O(1), the completion times the source and
+// target machines would have if job j moved to machine to. It does not
+// modify the state.
+func (st *State) CompletionAfterMove(j, to int) (fromC, toC float64) {
+	from := st.assign[j]
+	e := st.inst.At(j, from)
+	if from == to {
+		return st.completion[from], st.completion[to]
+	}
+	return st.completion[from] - e, st.completion[to] + st.inst.At(j, to)
+}
+
+// CompletionAfterSwap returns, in O(1), the completion times machines of a
+// and b would have after swapping the two jobs. Requires the jobs to be on
+// different machines.
+func (st *State) CompletionAfterSwap(a, b int) (aC, bC float64) {
+	ma, mb := st.assign[a], st.assign[b]
+	ea, eb := st.inst.At(a, ma), st.inst.At(b, mb)
+	return st.completion[ma] - ea + st.inst.At(b, ma),
+		st.completion[mb] - eb + st.inst.At(a, mb)
+}
+
+// SetSchedule replaces the whole schedule and re-evaluates, reusing the
+// state's buffers. It is the allocation-light way to re-point a scratch
+// State at a new candidate solution in hot loops.
+func (st *State) SetSchedule(s Schedule) {
+	if err := s.Validate(st.inst); err != nil {
+		panic(err)
+	}
+	st.assign.CopyFrom(s)
+	st.rebuild()
+}
+
+// Clone returns an independent copy of the state.
+func (st *State) Clone() *State {
+	cp := &State{
+		inst:       st.inst,
+		assign:     st.assign.Clone(),
+		machJobs:   make([][]int32, len(st.machJobs)),
+		completion: append([]float64(nil), st.completion...),
+		machFlow:   append([]float64(nil), st.machFlow...),
+		flowtime:   st.flowtime,
+	}
+	for m, jobs := range st.machJobs {
+		cp.machJobs[m] = append([]int32(nil), jobs...)
+	}
+	return cp
+}
+
+// CopyFrom makes st an exact copy of src (same instance), reusing buffers.
+func (st *State) CopyFrom(src *State) {
+	if st.inst != src.inst {
+		panic("schedule: CopyFrom across instances")
+	}
+	st.assign.CopyFrom(src.assign)
+	copy(st.completion, src.completion)
+	copy(st.machFlow, src.machFlow)
+	st.flowtime = src.flowtime
+	for m := range st.machJobs {
+		st.machJobs[m] = append(st.machJobs[m][:0], src.machJobs[m]...)
+	}
+}

@@ -1,0 +1,192 @@
+// Package takeover measures the selection intensity of cellular
+// population structures by takeover-time analysis, the standard tool of
+// the cellular-EA literature the paper builds on (Alba & Troya's ratio
+// studies; Giacobini et al., "Selection Intensity in Cellular
+// Evolutionary Algorithms for Regular Lattices" — references [3] and [15]
+// of the paper).
+//
+// The experiment: plant a single best individual in a toroidal grid of
+// otherwise-worst individuals, then repeatedly update every cell with
+// selection only (each cell adopts the winner of a tournament over its
+// neighborhood). The growth curve of the best genotype's share of the
+// population — and the takeover time, the first iteration at which it
+// saturates — quantifies the selective pressure a neighborhood pattern
+// induces: panmixia is the fastest/most exploitative extreme, L5 the
+// slowest/most explorative. This is exactly the exploration–exploitation
+// dial the paper's §3.2 tunes by choosing C9.
+package takeover
+
+import (
+	"fmt"
+
+	"gridcma/internal/cell"
+	"gridcma/internal/operators"
+	"gridcma/internal/rng"
+)
+
+// Options parameterises a takeover experiment.
+type Options struct {
+	Width, Height int // grid shape (paper: 5×5; analysis often uses larger)
+	Pattern       cell.Pattern
+	// Selector decides which neighbor a cell adopts; the paper's choice
+	// is 3-tournament.
+	Selector operators.Selector
+	// MaxIterations bounds the experiment (0 defaults to 10 × grid area).
+	MaxIterations int
+	// Runs averages the growth curve over this many seeds (default 1).
+	Runs int
+	Seed uint64
+	// Synchronous selects generation-synchronous updating (the classical
+	// analysis); false uses asynchronous line sweep, which roughly
+	// doubles the growth speed.
+	Synchronous bool
+}
+
+// Validate reports the first option error.
+func (o Options) Validate() error {
+	switch {
+	case o.Width <= 0 || o.Height <= 0:
+		return fmt.Errorf("takeover: invalid grid %dx%d", o.Width, o.Height)
+	case o.Selector == nil:
+		return fmt.Errorf("takeover: nil selector")
+	case o.MaxIterations < 0 || o.Runs < 0:
+		return fmt.Errorf("takeover: negative bounds")
+	}
+	return nil
+}
+
+// Curve is the result of one takeover experiment.
+type Curve struct {
+	Pattern cell.Pattern
+	// Proportion[t] is the mean fraction of cells holding the best
+	// genotype after t iterations (Proportion[0] = 1/gridsize).
+	Proportion []float64
+	// TakeoverTime is the mean first iteration at which the best genotype
+	// occupies the whole grid; -1 if any run failed to saturate within
+	// MaxIterations.
+	TakeoverTime float64
+}
+
+// GrowthAt returns the proportion after iteration t (clamped).
+func (c Curve) GrowthAt(t int) float64 {
+	if len(c.Proportion) == 0 {
+		return 0
+	}
+	if t >= len(c.Proportion) {
+		t = len(c.Proportion) - 1
+	}
+	return c.Proportion[t]
+}
+
+// Measure runs the takeover experiment.
+func Measure(o Options) (Curve, error) {
+	if err := o.Validate(); err != nil {
+		return Curve{}, err
+	}
+	g := cell.NewGrid(o.Width, o.Height)
+	nb := cell.NewNeighborhood(g, o.Pattern)
+	n := g.Size()
+	maxIter := o.MaxIterations
+	if maxIter == 0 {
+		maxIter = 10 * n
+	}
+	runs := o.Runs
+	if runs == 0 {
+		runs = 1
+	}
+
+	sumProp := make([]float64, maxIter+1)
+	sumProp[0] = float64(runs) / float64(n)
+	saturated := make([]int, 0, runs)
+	longest := 0
+
+	for k := 0; k < runs; k++ {
+		r := rng.New(o.Seed + uint64(k))
+		// Fitness: 0 for the best genotype, 1 for the rest (lower wins).
+		best := make([]bool, n)
+		best[r.Intn(n)] = true
+		count := 1
+
+		fitOf := func(i int) float64 {
+			if best[i] {
+				return 0
+			}
+			return 1
+		}
+
+		// Updates are elitist (a cell only adopts the winner when it
+		// improves), mirroring the paper's add-only-if-better replacement.
+		// Non-elitist adoption would let the single initial copy go
+		// extinct, which is noise, not pressure.
+		t := 0
+		for ; t < maxIter && count < n; t++ {
+			if o.Synchronous {
+				next := make([]bool, n)
+				for c := 0; c < n; c++ {
+					winner := o.Selector.Select(nb.Of[c], fitOf, r)
+					next[c] = best[c] || best[winner]
+				}
+				count = 0
+				for _, b := range next {
+					if b {
+						count++
+					}
+				}
+				best = next
+			} else {
+				for c := 0; c < n; c++ {
+					if best[c] {
+						continue
+					}
+					winner := o.Selector.Select(nb.Of[c], fitOf, r)
+					if best[winner] {
+						best[c] = true
+						count++
+					}
+				}
+			}
+			sumProp[t+1] += float64(count) / float64(n)
+		}
+		if count == n {
+			saturated = append(saturated, t)
+			// Saturated runs stay at 1.0 for the rest of the horizon.
+			for tt := t + 1; tt <= maxIter; tt++ {
+				sumProp[tt]++
+			}
+		}
+		if t > longest {
+			longest = t
+		}
+	}
+
+	curve := Curve{Pattern: o.Pattern, Proportion: make([]float64, maxIter+1)}
+	for t := range curve.Proportion {
+		curve.Proportion[t] = sumProp[t] / float64(runs)
+	}
+	if len(saturated) == runs {
+		total := 0
+		for _, t := range saturated {
+			total += t
+		}
+		curve.TakeoverTime = float64(total) / float64(runs)
+	} else {
+		curve.TakeoverTime = -1
+	}
+	return curve, nil
+}
+
+// Compare measures all patterns under identical options and returns the
+// curves in the given order.
+func Compare(patterns []cell.Pattern, o Options) ([]Curve, error) {
+	out := make([]Curve, 0, len(patterns))
+	for _, p := range patterns {
+		opts := o
+		opts.Pattern = p
+		c, err := Measure(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package takeover
+
+import (
+	"testing"
+
+	"gridcma/internal/cell"
+	"gridcma/internal/operators"
+)
+
+func baseOpts() Options {
+	return Options{
+		Width: 20, Height: 20,
+		Pattern:       cell.L5,
+		Selector:      operators.NewTournament(3),
+		MaxIterations: 400,
+		Runs:          8,
+		Seed:          1,
+	}
+}
+
+// orderingOpts uses synchronous updating on a larger grid: information
+// then travels at most one neighborhood radius per iteration, which is
+// what separates the patterns' growth curves cleanly.
+func orderingOpts() Options {
+	o := baseOpts()
+	o.Width, o.Height = 40, 40
+	o.Runs = 5
+	o.Synchronous = true
+	return o
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Options){
+		func(o *Options) { o.Width = 0 },
+		func(o *Options) { o.Selector = nil },
+		func(o *Options) { o.MaxIterations = -1 },
+		func(o *Options) { o.Runs = -1 },
+	}
+	for i, f := range bad {
+		o := baseOpts()
+		f(&o)
+		if _, err := Measure(o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCurveStartsAtOneCell(t *testing.T) {
+	o := baseOpts()
+	c, err := Measure(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 400
+	if c.Proportion[0] != want {
+		t.Errorf("initial proportion %v, want %v", c.Proportion[0], want)
+	}
+}
+
+func TestGrowthIsMonotoneAndSaturates(t *testing.T) {
+	// Elitist updates make every run's curve non-decreasing, hence the
+	// average too, and the best genotype must take the whole grid.
+	c, err := Measure(baseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(c.Proportion); i++ {
+		if c.Proportion[i] < c.Proportion[i-1]-1e-12 {
+			t.Fatalf("growth regressed at t=%d", i)
+		}
+	}
+	if last := c.Proportion[len(c.Proportion)-1]; last < 0.999 {
+		t.Errorf("best genotype reached only %v of the grid", last)
+	}
+	if c.TakeoverTime < 0 {
+		t.Error("takeover did not saturate")
+	}
+}
+
+func TestSelectionPressureOrdering(t *testing.T) {
+	// The core cellular-EA fact the paper leans on: larger/denser
+	// neighborhoods induce higher selective pressure. Panmixia must grow
+	// fastest, L5 slowest, with C13 in between.
+	o := orderingOpts()
+	curves, err := Compare([]cell.Pattern{cell.L5, cell.C13, cell.Panmictic}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l5, c13, pan := curves[0], curves[1], curves[2]
+	const probe = 8
+	if !(pan.GrowthAt(probe) > c13.GrowthAt(probe) && c13.GrowthAt(probe) > l5.GrowthAt(probe)) {
+		t.Errorf("pressure ordering violated at t=%d: pan=%v c13=%v l5=%v",
+			probe, pan.GrowthAt(probe), c13.GrowthAt(probe), l5.GrowthAt(probe))
+	}
+	if pan.TakeoverTime < 0 || l5.TakeoverTime < 0 {
+		t.Fatalf("takeover did not saturate: pan=%v l5=%v", pan.TakeoverTime, l5.TakeoverTime)
+	}
+	if pan.TakeoverTime >= l5.TakeoverTime {
+		t.Errorf("panmictic takeover (%v) should be faster than L5 (%v)",
+			pan.TakeoverTime, l5.TakeoverTime)
+	}
+}
+
+func TestC9BetweenL5AndC13(t *testing.T) {
+	o := orderingOpts()
+	curves, err := Compare([]cell.Pattern{cell.L5, cell.C9, cell.C13}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const probe = 8
+	l5, c9, c13 := curves[0].GrowthAt(probe), curves[1].GrowthAt(probe), curves[2].GrowthAt(probe)
+	if !(l5 <= c9 && c9 <= c13) {
+		t.Errorf("C9 pressure not between L5 and C13: %v %v %v", l5, c9, c13)
+	}
+}
+
+func TestSynchronousSlowerThanAsync(t *testing.T) {
+	// Asynchronous sweeps propagate information within an iteration, so
+	// growth per iteration is at least as fast as synchronous updating.
+	o := baseOpts()
+	o.Synchronous = true
+	sync, err := Measure(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Synchronous = false
+	async, err := Measure(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const probe = 8
+	if async.GrowthAt(probe) < sync.GrowthAt(probe) {
+		t.Errorf("async growth %v below sync %v at t=%d",
+			async.GrowthAt(probe), sync.GrowthAt(probe), probe)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, _ := Measure(baseOpts())
+	b, _ := Measure(baseOpts())
+	for i := range a.Proportion {
+		if a.Proportion[i] != b.Proportion[i] {
+			t.Fatal("takeover experiment not deterministic")
+		}
+	}
+}
+
+func TestGrowthAtClamps(t *testing.T) {
+	c := Curve{Proportion: []float64{0.1, 0.5, 1.0}}
+	if c.GrowthAt(99) != 1.0 {
+		t.Error("clamp failed")
+	}
+	if (Curve{}).GrowthAt(0) != 0 {
+		t.Error("empty curve")
+	}
+}
