@@ -1,6 +1,7 @@
 package gridcma
 
 import (
+	"fmt"
 	"io"
 
 	"gridcma/internal/cell"
@@ -54,8 +55,6 @@ type (
 	// CMAConfig is the full configuration of the cellular memetic
 	// algorithm (the paper's Table 1 lives in DefaultCMAConfig).
 	CMAConfig = cma.Config
-	// CMA is the cellular memetic scheduler, the paper's contribution.
-	CMA = cma.Scheduler
 	// GAConfig configures the baseline genetic algorithms.
 	GAConfig = ga.Config
 	// GAVariant selects Braun / steady-state / Struggle GA.
@@ -114,6 +113,12 @@ func GenerateInstance(class InstanceClass, jobs, machs int, seed uint64) *Instan
 	return etc.Generate(class, 0, etc.GenerateOptions{Jobs: jobs, Machs: machs, Seed: seed})
 }
 
+// ParseInstanceClass parses a canonical instance name ("u_c_hihi.0")
+// into its benchmark class and trial index.
+func ParseInstanceClass(name string) (InstanceClass, int, error) {
+	return etc.ParseClass(name)
+}
+
 // ReadInstance parses an instance in the benchmark text format.
 func ReadInstance(r io.Reader) (*Instance, error) { return etc.Read(r) }
 
@@ -123,18 +128,57 @@ func WriteInstance(w io.Writer, in *Instance) error { return etc.Write(w, in) }
 // DefaultCMAConfig returns the paper's tuned configuration (Table 1).
 func DefaultCMAConfig() CMAConfig { return cma.DefaultConfig() }
 
-// NewCMA builds the cellular memetic scheduler.
-func NewCMA(cfg CMAConfig) (*CMA, error) { return cma.New(cfg) }
+// NewCMA builds the cellular memetic scheduler from an explicit
+// configuration — the path for customised cMAs (operators, grids, local
+// search). For the stock paper-tuned algorithms use New("cma") instead.
+func NewCMA(cfg CMAConfig) (Scheduler, error) {
+	return newEngineScheduler(schedulerName(cfg), func(ls bool, l float64) (engineRunner, error) {
+		c := cfg
+		c.Objective = objectiveFor(ls, l, c.Objective)
+		return cma.New(c)
+	})
+}
+
+func schedulerName(cfg CMAConfig) string {
+	if cfg.Synchronous {
+		return "cma-sync"
+	}
+	return "cma"
+}
 
 // NewGA builds one of the baseline genetic algorithms with its published
 // configuration.
-func NewGA(v GAVariant) (*ga.Scheduler, error) { return ga.New(ga.NewConfig(v)) }
+func NewGA(v GAVariant) (Scheduler, error) {
+	return newGAScheduler(ga.NewConfig(v).Variant.String(), v)
+}
+
+// newGAScheduler is the shared GA builder: the facade names schedulers by
+// the variant's display name, the registry by its kebab-case key.
+func newGAScheduler(name string, v GAVariant) (Scheduler, error) {
+	return newEngineScheduler(name, func(ls bool, l float64) (engineRunner, error) {
+		cfg := ga.NewConfig(v)
+		cfg.Objective = objectiveFor(ls, l, cfg.Objective)
+		return ga.New(cfg)
+	})
+}
 
 // NewSA builds the simulated annealing baseline.
-func NewSA() (*sa.Scheduler, error) { return sa.New(sa.DefaultConfig()) }
+func NewSA() (Scheduler, error) {
+	return newEngineScheduler("sa", func(ls bool, l float64) (engineRunner, error) {
+		cfg := sa.DefaultConfig()
+		cfg.Objective = objectiveFor(ls, l, cfg.Objective)
+		return sa.New(cfg)
+	})
+}
 
 // NewTabu builds the tabu search baseline.
-func NewTabu() (*tabu.Scheduler, error) { return tabu.New(tabu.DefaultConfig()) }
+func NewTabu() (Scheduler, error) {
+	return newEngineScheduler("tabu", func(ls bool, l float64) (engineRunner, error) {
+		cfg := tabu.DefaultConfig()
+		cfg.Objective = objectiveFor(ls, l, cfg.Objective)
+		return tabu.New(cfg)
+	})
+}
 
 // Heuristic returns a constructive heuristic by name: "ljfr-sjfr",
 // "minmin", "maxmin", "duplex", "sufferage", "mct", "met" or "olb".
@@ -199,7 +243,13 @@ type (
 func DefaultIslandConfig() IslandConfig { return island.DefaultConfig() }
 
 // NewIsland builds the parallel island-model scheduler.
-func NewIsland(cfg IslandConfig) (*island.Scheduler, error) { return island.New(cfg) }
+func NewIsland(cfg IslandConfig) (Scheduler, error) {
+	return newEngineScheduler("island", func(ls bool, l float64) (engineRunner, error) {
+		c := cfg
+		c.Base.Objective = objectiveFor(ls, l, c.Base.Objective)
+		return island.New(c)
+	})
+}
 
 // CVBOptions parameterises the coefficient-of-variation-based instance
 // generator (for custom-size grids beyond the 512×16 benchmark).
@@ -228,15 +278,24 @@ func DefaultSimConfig() SimConfig { return gridsim.DefaultConfig() }
 // Simulate runs the dynamic grid simulator with the given policy.
 func Simulate(cfg SimConfig, p SimPolicy) (SimMetrics, error) { return gridsim.Simulate(cfg, p) }
 
-// BatchPolicy wraps any budgeted algorithm (cMA, GA, SA, tabu) as a
-// dynamic scheduling policy: at every activation the algorithm runs on the
-// snapshot instance within the given budget — exactly the deployment mode
-// the paper proposes for real grids.
-func BatchPolicy(name string, alg interface {
-	Run(*Instance, Budget, uint64, Observer) Result
-}, budget Budget) SimPolicy {
+// BatchPolicy wraps any Scheduler (cMA, GA, SA, tabu, or a custom
+// implementation) as a dynamic scheduling policy: at every activation the
+// algorithm runs on the snapshot instance within the given budget —
+// exactly the deployment mode the paper proposes for real grids. Dynamic
+// policies and batch runs thereby share one contract. The budget must be
+// bounded. A cancelled budget context degrades gracefully: activations
+// return the algorithm's best-so-far schedule (for the engines, at least
+// the seeded population's best), so the simulation winds down instead of
+// crashing. Only a run that produces no schedule at all panics, as the
+// simulator has no error path and a policy that silently drops jobs
+// would corrupt its metrics.
+func BatchPolicy(name string, alg Scheduler, budget Budget) SimPolicy {
 	return gridsim.PolicyFunc{PolicyName: name, Fn: func(in *Instance, seed uint64) Schedule {
-		return alg.Run(in, budget, seed, nil).Best
+		res, err := alg.Run(budget.Context(), in, WithBudget(budget), WithSeed(seed))
+		if res.Best == nil {
+			panic(fmt.Sprintf("gridcma: batch policy %s produced no schedule: %v", name, err))
+		}
+		return res.Best
 	}}
 }
 

@@ -2,6 +2,7 @@ package gridcma_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -85,7 +86,13 @@ func TestCMAThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	var seen int
-	res := sched.Run(in, gridcma.Budget{MaxIterations: 8}, 1, func(p gridcma.Progress) { seen++ })
+	res, err := sched.Run(context.Background(), in,
+		gridcma.WithMaxIterations(8),
+		gridcma.WithSeed(1),
+		gridcma.WithObserver(func(p gridcma.Progress) { seen++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if seen != 9 {
 		t.Errorf("observer called %d times", seen)
 	}
@@ -106,7 +113,10 @@ func TestGAFacadeVariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
 		}
-		res := g.Run(in, gridcma.Budget{MaxIterations: 3}, 1, nil)
+		res, err := g.Run(context.Background(), in, gridcma.WithMaxIterations(3))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
 		if err := res.Best.Validate(in); err != nil {
 			t.Fatalf("%v: %v", v, err)
 		}
@@ -119,15 +129,15 @@ func TestSATabuFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := s.Run(in, gridcma.Budget{MaxIterations: 3}, 1, nil); res.Best == nil {
-		t.Error("SA returned no schedule")
+	if res, err := s.Run(context.Background(), in, gridcma.WithMaxIterations(3)); err != nil || res.Best == nil {
+		t.Errorf("SA returned no schedule (err %v)", err)
 	}
 	tb, err := gridcma.NewTabu()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := tb.Run(in, gridcma.Budget{MaxIterations: 3}, 1, nil); res.Best == nil {
-		t.Error("tabu returned no schedule")
+	if res, err := tb.Run(context.Background(), in, gridcma.WithMaxIterations(3)); err != nil || res.Best == nil {
+		t.Errorf("tabu returned no schedule (err %v)", err)
 	}
 }
 

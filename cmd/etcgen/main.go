@@ -12,8 +12,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"gridcma"
 	"gridcma/internal/etc"
-	"gridcma/internal/experiments"
 )
 
 func main() {
@@ -32,8 +32,8 @@ func main() {
 
 	switch {
 	case *all:
-		for _, n := range experiments.InstanceNames {
-			in, err := etc.GenerateByName(n)
+		for _, n := range gridcma.BenchmarkInstanceNames() {
+			in, err := gridcma.BenchmarkInstance(n)
 			if err != nil {
 				fatal(err)
 			}
@@ -44,17 +44,18 @@ func main() {
 			fmt.Println("wrote", path)
 		}
 	case *name != "":
-		in, err := etc.GenerateByName(*name)
+		in, err := gridcma.BenchmarkInstance(*name)
 		if err != nil {
 			fatal(err)
 		}
 		emit(in, *out)
 	case *class != "":
-		c, _, err := etc.ParseClass(*class + ".0")
+		c, _, err := gridcma.ParseInstanceClass(*class + ".0")
 		if err != nil {
 			fatal(err)
 		}
-		in := etc.Generate(c, *k, etc.GenerateOptions{Jobs: *jobs, Machs: *machs, Seed: *seed})
+		in := gridcma.GenerateInstance(c, *jobs, *machs, *seed)
+		in.Name = fmt.Sprintf("%s.%d", *class, *k)
 		emit(in, *out)
 	default:
 		fmt.Fprintln(os.Stderr, "etcgen: need one of -name, -class or -all (see -h)")
@@ -62,9 +63,9 @@ func main() {
 	}
 }
 
-func emit(in *etc.Instance, out string) {
+func emit(in *gridcma.Instance, out string) {
 	if out == "" {
-		if err := etc.Write(os.Stdout, in); err != nil {
+		if err := gridcma.WriteInstance(os.Stdout, in); err != nil {
 			fatal(err)
 		}
 		return

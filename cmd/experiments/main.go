@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -41,6 +43,11 @@ func main() {
 		o = experiments.Full()
 		o.Seed = *seed
 	}
+	// Ctrl-C cancels every in-flight run at its next budget check: the
+	// context rides inside the budget down to each engine loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	o.Budget = o.Budget.WithContext(ctx)
 	if err := o.Validate(); err != nil {
 		fatal(err)
 	}

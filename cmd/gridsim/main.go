@@ -4,6 +4,7 @@
 //
 //	gridsim                                   # cMA policy, default scenario
 //	gridsim -policy minmin -horizon 2000
+//	gridsim -policy tabu -cma-iters 20        # any registry algorithm
 //	gridsim -compare                          # cMA vs heuristics side by side
 package main
 
@@ -12,30 +13,24 @@ import (
 	"fmt"
 	"os"
 
-	"gridcma/internal/cma"
-	"gridcma/internal/etc"
-	"gridcma/internal/gridsim"
-	"gridcma/internal/heuristics"
-	"gridcma/internal/localsearch"
-	"gridcma/internal/run"
-	"gridcma/internal/schedule"
+	"gridcma"
 )
 
 func main() {
 	var (
-		policy   = flag.String("policy", "cma", "batch policy: cma, or a heuristic name (minmin, olb, ...)")
+		policy   = flag.String("policy", "cma", "batch policy: a registry algorithm (cma, tabu, ...) or a heuristic name (minmin, olb, ...)")
 		horizon  = flag.Float64("horizon", 1000, "simulated time horizon")
 		rate     = flag.Float64("rate", 1.0, "job arrival rate")
 		machines = flag.Int("machines", 16, "initial machine count")
 		interval = flag.Float64("interval", 25, "scheduler activation interval")
 		churn    = flag.Float64("churn", 0.002, "machine join/leave rate")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
-		cmaIters = flag.Int("cma-iters", 10, "cMA iterations per activation")
+		cmaIters = flag.Int("cma-iters", 10, "metaheuristic iterations per activation")
 		compare  = flag.Bool("compare", false, "compare cma against all heuristics")
 	)
 	flag.Parse()
 
-	cfg := gridsim.DefaultConfig()
+	cfg := gridcma.DefaultSimConfig()
 	cfg.Horizon = *horizon
 	cfg.ArrivalRate = *rate
 	cfg.InitialMachines = *machines
@@ -44,7 +39,7 @@ func main() {
 	cfg.Seed = *seed
 
 	if *compare {
-		names := append([]string{"cma"}, heuristics.Names()...)
+		names := append([]string{"cma"}, gridcma.HeuristicNames()...)
 		fmt.Printf("%-12s %9s %9s %11s %9s %9s\n",
 			"policy", "completed", "restarts", "response", "wait", "util")
 		for _, n := range names {
@@ -52,7 +47,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			m, err := gridsim.Simulate(cfg, p)
+			m, err := gridcma.Simulate(cfg, p)
 			if err != nil {
 				fatal(err)
 			}
@@ -67,7 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	m, err := gridsim.Simulate(cfg, p)
+	m, err := gridcma.Simulate(cfg, p)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,28 +77,35 @@ func main() {
 	fmt.Printf("last completion   %.2f\n", m.Makespan)
 }
 
-func buildPolicy(name string, cmaIters int) (gridsim.Policy, error) {
+// buildPolicy maps a name to a dynamic policy: registry metaheuristics
+// are wrapped by BatchPolicy (the Scheduler contract), heuristics run as
+// deterministic one-shots.
+func buildPolicy(name string, iters int) (gridcma.SimPolicy, error) {
 	if name == "cma" {
-		cfg := cma.DefaultConfig()
 		// Activation batches are small and frequent; the sampled LMCTS
 		// keeps per-activation latency low — the "very short time"
 		// constraint of the paper's dynamic setting.
-		cfg.LocalSearch = localsearch.SampledLMCTS{Samples: 32}
-		sched, err := cma.New(cfg)
+		cfg := gridcma.DefaultCMAConfig()
+		ls, err := gridcma.LocalSearch("LMCTS-sampled")
 		if err != nil {
 			return nil, err
 		}
-		return gridsim.PolicyFunc{PolicyName: "cma", Fn: func(in *etc.Instance, seed uint64) schedule.Schedule {
-			return sched.Run(in, run.Budget{MaxIterations: cmaIters}, seed, nil).Best
-		}}, nil
+		cfg.LocalSearch = ls
+		sched, err := gridcma.NewCMA(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return gridcma.BatchPolicy("cma", sched, gridcma.Budget{MaxIterations: iters}), nil
 	}
-	h, err := heuristics.ByName(name)
+	if p, err := gridcma.HeuristicPolicy(name); err == nil {
+		return p, nil
+	}
+	sched, err := gridcma.New(name)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("unknown policy %q: not a registry algorithm (%v) or a heuristic (%v)",
+			name, gridcma.Algorithms(), gridcma.HeuristicNames())
 	}
-	return gridsim.PolicyFunc{PolicyName: name, Fn: func(in *etc.Instance, _ uint64) schedule.Schedule {
-		return h(in)
-	}}, nil
+	return gridcma.BatchPolicy(name, sched, gridcma.Budget{MaxIterations: iters}), nil
 }
 
 func fatal(err error) {

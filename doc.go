@@ -7,21 +7,66 @@
 // the ETC (Expected Time to Compute) model, together with everything the
 // paper's evaluation depends on: the Braun et al. benchmark generator, the
 // LJFR-SJFR and Min-Min style constructive heuristics, the three baseline
-// genetic algorithms (Braun GA, steady-state GA, Struggle GA), simulated
-// annealing and tabu search, a discrete-event dynamic grid simulator, and
-// an experiment harness that regenerates every table and figure of the
-// paper's evaluation section.
+// genetic algorithms (Braun GA, steady-state GA, Struggle GA), the GSA
+// hybrid, simulated annealing, tabu search, the coarse-grained island
+// model, a discrete-event dynamic grid simulator, and an experiment
+// harness that regenerates every table and figure of the paper's
+// evaluation section.
 //
 // This root package is the stable facade: it re-exports the types and
 // constructors an application needs, so downstream users never import the
 // internal packages directly.
 //
+// # Schedulers and the registry
+//
+// Every metaheuristic implements one interface:
+//
+//	type Scheduler interface {
+//		Name() string
+//		Run(ctx context.Context, in *Instance, opts ...RunOption) (Result, error)
+//	}
+//
+// Algorithms are built by name from the registry. The built-in names are
+//
+//	cma cma-sync island braun-ga ss-ga struggle-ga gsa sa tabu
+//
+// (Algorithms lists them; Register adds your own.) Run is configured with
+// functional options: WithBudget / WithMaxTime / WithMaxIterations bound
+// the search, WithSeed makes it reproducible, WithObserver streams
+// progress, and WithLambda reweighs the bi-objective fitness
+// λ·makespan + (1−λ)·mean_flowtime (default 0.75). Options passed to New
+// become defaults for every Run of that scheduler.
+//
 // Quick start:
 //
 //	in, _ := gridcma.BenchmarkInstance("u_c_hihi.0")
-//	sched, _ := gridcma.NewCMA(gridcma.DefaultCMAConfig())
-//	res := sched.Run(in, gridcma.Budget{MaxTime: 2 * time.Second}, 1, nil)
+//	sched, _ := gridcma.New("cma")
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	res, _ := sched.Run(ctx, in, gridcma.WithMaxTime(2*time.Second), gridcma.WithSeed(1))
 //	fmt.Println(res.Makespan, res.Flowtime)
+//
+// Cancelling ctx stops any run at its next budget check; a cancelled run
+// returns its best-so-far schedule together with ctx.Err(). A run with no
+// budget option and no context deadline fails with ErrUnbounded.
+//
+// # Batch execution and portfolio racing
+//
+// RunBatch fans instances × algorithms × seeds over a worker pool with
+// deterministic per-task seeds — the output is identical for any worker
+// count. Race runs a portfolio of schedulers on one instance concurrently
+// and cancels the losers as soon as the first finishes:
+//
+//	batch, _ := gridcma.RunBatch(ctx, gridcma.BatchSpec{
+//		Instances:  []*gridcma.Instance{in},
+//		Algorithms: algs,
+//		Budget:     gridcma.Budget{MaxTime: time.Second},
+//		Repeats:    10,
+//	})
+//	outcome, _ := gridcma.Race(ctx, in, algs, gridcma.WithMaxTime(2*time.Second))
+//
+// The same Scheduler contract drives the dynamic grid simulator:
+// BatchPolicy turns any Scheduler into a periodic-activation policy.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.

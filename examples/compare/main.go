@@ -1,10 +1,15 @@
 // Compare: run every scheduler in the library — eight constructive
-// heuristics, three genetic algorithms, simulated annealing, tabu search
-// and the cellular memetic algorithm — on one benchmark instance and rank
+// heuristics plus the full metaheuristic registry (three genetic
+// algorithms, GSA, simulated annealing, tabu search, the island model and
+// the cellular memetic algorithm) — on one benchmark instance and rank
 // them. This is the "which scheduler should I use" tour of the library.
+//
+// The metaheuristics all go through one RunBatch call: the batch executor
+// fans them out over a worker pool with deterministic per-task seeds.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -27,7 +32,6 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("instance %s: %d jobs × %d machines\n\n", in.Name, in.Jobs, in.Machs)
-	budget := gridcma.Budget{MaxTime: time.Second}
 	var rows []row
 
 	// Constructive heuristics (deterministic, effectively instant).
@@ -42,33 +46,33 @@ func main() {
 		rows = append(rows, row{name, ms, ft, fit, time.Since(start)})
 	}
 
-	// Metaheuristics, one second of wall clock each.
-	type alg interface {
-		Name() string
-		Run(*gridcma.Instance, gridcma.Budget, uint64, gridcma.Observer) gridcma.Result
-	}
-	var metas []alg
-	cmaSched, err := gridcma.NewCMA(gridcma.DefaultCMAConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	metas = append(metas, cmaSched)
-	for _, v := range []gridcma.GAVariant{gridcma.BraunGA, gridcma.SteadyStateGA, gridcma.StruggleGA, gridcma.GSAGA} {
-		g, err := gridcma.NewGA(v)
+	// Every registered metaheuristic, one second of wall clock each,
+	// fanned out by the batch executor.
+	var algs []gridcma.Scheduler
+	for _, name := range gridcma.Algorithms() {
+		a, err := gridcma.New(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		metas = append(metas, g)
+		algs = append(algs, a)
 	}
-	if s, err := gridcma.NewSA(); err == nil {
-		metas = append(metas, s)
+	// Workers: 1 — these are wall-clock budgets, so running contenders
+	// concurrently would split the CPU between them and distort the very
+	// ranking this example exists to show.
+	batch, err := gridcma.RunBatch(context.Background(), gridcma.BatchSpec{
+		Instances:  []*gridcma.Instance{in},
+		Algorithms: algs,
+		Budget:     gridcma.Budget{MaxTime: time.Second},
+		Repeats:    1,
+		BaseSeed:   1,
+		Workers:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	if t, err := gridcma.NewTabu(); err == nil {
-		metas = append(metas, t)
-	}
-	for _, m := range metas {
-		res := m.Run(in, budget, 1, nil)
-		rows = append(rows, row{m.Name(), res.Makespan, res.Flowtime, res.Fitness, res.Elapsed})
+	for _, b := range batch {
+		rows = append(rows, row{b.Algorithm, b.Result.Makespan, b.Result.Flowtime,
+			b.Result.Fitness, b.Result.Elapsed})
 	}
 
 	sort.Slice(rows, func(i, j int) bool { return rows[i].fitness < rows[j].fitness })

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	budget := gridcma.Budget{MaxIterations: 40}
+	ctx := context.Background()
 
 	for _, tc := range []struct {
 		label string
@@ -70,7 +71,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := sched.Run(in, budget, 7, nil)
+		res, err := sched.Run(ctx, in, gridcma.WithMaxIterations(40), gridcma.WithSeed(7))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-22s makespan %12.1f  flowtime %16.1f  fitness %14.1f (%d evals)\n",
 			tc.label, res.Makespan, res.Flowtime, res.Fitness, res.Evals)
 	}

@@ -31,6 +31,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// BatchPolicy takes any Scheduler — dynamic-grid policies and batch
+	// runs share the one interface.
 	cmaPolicy := gridcma.BatchPolicy("cMA", sched, gridcma.Budget{MaxIterations: 10})
 
 	policies := []gridcma.SimPolicy{cmaPolicy}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	budget := gridcma.Budget{MaxIterations: 30}
+	// Budgets carry the cancellation context into every engine loop; a
+	// Ctrl-C handler wired to this context would stop the search cleanly.
+	ctx := context.Background()
+	budget := gridcma.Budget{MaxIterations: 30}.WithContext(ctx)
 
 	// Dominance-based cellular search: one run, a whole front.
 	mo, err := gridcma.NewMOCellMA(gridcma.DefaultMOCellConfig())
@@ -35,7 +39,7 @@ func main() {
 
 	// Comparison: sweep the scalarised cMA over five λ values.
 	sweep, err := gridcma.LambdaSweep(in, gridcma.DefaultCMAConfig(),
-		[]float64{0, 0.25, 0.5, 0.75, 1}, gridcma.Budget{MaxIterations: 6}, 1, 100)
+		[]float64{0, 0.25, 0.5, 0.75, 1}, gridcma.Budget{MaxIterations: 6}.WithContext(ctx), 1, 100)
 	if err != nil {
 		log.Fatal(err)
 	}

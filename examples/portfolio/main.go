@@ -1,0 +1,58 @@
+// Portfolio: race several schedulers on the same instance and keep the
+// first (and best) answer. In a real grid deployment the scheduler has a
+// hard planning deadline; racing a portfolio — the cMA against cheaper
+// baselines — hedges against any single algorithm stalling, and the racer
+// cancels the losers instead of letting them waste cores after the race
+// is decided.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"gridcma"
+)
+
+func main() {
+	in, err := gridcma.BenchmarkInstance("u_i_hihi.0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %s: %d jobs × %d machines\n\n", in.Name, in.Jobs, in.Machs)
+
+	names := []string{"cma", "struggle-ga", "sa", "tabu"}
+	var algs []gridcma.Scheduler
+	for _, n := range names {
+		a, err := gridcma.New(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		algs = append(algs, a)
+	}
+
+	// A hard planning deadline bounds the whole race; each contender also
+	// has its own per-run budget. The first to finish ends the race.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := gridcma.Race(ctx, in, algs,
+		gridcma.WithMaxTime(2*time.Second),
+		gridcma.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-15s %14s %16s %12s %10s\n", "contender", "makespan", "fitness", "iterations", "elapsed")
+	for i, r := range out.Results {
+		marker := " "
+		if i == out.Winner {
+			marker = "*"
+		}
+		fmt.Printf("%s%-14s %14.1f %16.1f %12d %10s\n",
+			marker, names[i], r.Makespan, r.Fitness, r.Iterations, r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("\nwinner: %s (fitness %.1f) — losers were cancelled at their next budget check\n",
+		out.Best.Algorithm, out.Best.Fitness)
+}

@@ -1,9 +1,14 @@
 // Quickstart: schedule one Braun benchmark instance with the paper's tuned
 // cellular memetic algorithm and compare it against the LJFR-SJFR seed
 // heuristic — the smallest end-to-end use of the library.
+//
+// Algorithms are built by name from the registry (gridcma.Algorithms lists
+// the portfolio) and run through the context-aware Scheduler interface:
+// cancel the context or let the budget expire, whichever comes first.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,16 +32,27 @@ func main() {
 	hm, hf, hfit := gridcma.Evaluate(in, ljfr(in))
 	fmt.Printf("LJFR-SJFR  makespan %12.1f  flowtime %16.1f  fitness %14.1f\n", hm, hf, hfit)
 
-	// The paper's tuned cMA (Table 1), two seconds of wall clock.
-	sched, err := gridcma.NewCMA(gridcma.DefaultCMAConfig())
+	// The paper's tuned cMA (Table 1), by registry name. A context
+	// deadline bounds the run; Ctrl-C-style cancellation would stop it
+	// just as promptly.
+	sched, err := gridcma.New("cma")
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := sched.Run(in, gridcma.Budget{MaxTime: 2 * time.Second}, 1, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := sched.Run(ctx, in,
+		gridcma.WithMaxTime(2*time.Second),
+		gridcma.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("cMA (2s)   makespan %12.1f  flowtime %16.1f  fitness %14.1f\n",
 		res.Makespan, res.Flowtime, res.Fitness)
 
 	fmt.Printf("\ncMA improved makespan by %.1f%% and flowtime by %.1f%% over LJFR-SJFR\n",
 		100*(hm-res.Makespan)/hm, 100*(hf-res.Flowtime)/hf)
 	fmt.Printf("(%d iterations, %d fitness evaluations)\n", res.Iterations, res.Evals)
+	fmt.Printf("\nregistered algorithms: %v\n", gridcma.Algorithms())
 }

@@ -1,0 +1,3 @@
+module gridcma
+
+go 1.24

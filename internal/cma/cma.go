@@ -161,7 +161,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 	if !budget.Bounded() {
 		panic("cma: unbounded budget")
 	}
-	e := newEngine(in, s.cfg, seed, nil)
+	e := newEngine(in, s.cfg, seed, nil, budget)
 	return e.run(budget, obs, s.Name())
 }
 
@@ -175,7 +175,7 @@ func (s *Scheduler) RunWithPopulation(in *etc.Instance, budget run.Budget, seed 
 	if !budget.Bounded() {
 		panic("cma: unbounded budget")
 	}
-	e := newEngine(in, s.cfg, seed, initial)
+	e := newEngine(in, s.cfg, seed, initial, budget)
 	res := e.run(budget, obs, s.Name())
 	final := make([]schedule.Schedule, len(e.pop))
 	for i, st := range e.pop {
@@ -202,6 +202,7 @@ type engine struct {
 	cfg    Config
 	r      *rng.Source
 	seed   uint64
+	budget run.Budget // for cancellation polling inside expensive phases
 	grid   cell.Grid
 	nb     *cell.Neighborhood
 	pop    []*schedule.State
@@ -223,13 +224,14 @@ type engine struct {
 	bestFT  float64
 }
 
-func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Schedule) *engine {
+func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Schedule, budget run.Budget) *engine {
 	e := &engine{
-		in:   in,
-		cfg:  cfg,
-		r:    rng.New(seed),
-		seed: seed,
-		grid: cell.NewGrid(cfg.Width, cfg.Height),
+		in:     in,
+		cfg:    cfg,
+		r:      rng.New(seed),
+		seed:   seed,
+		grid:   cell.NewGrid(cfg.Width, cfg.Height),
+		budget: budget,
 	}
 	e.nb = cell.NewNeighborhood(e.grid, cfg.Pattern)
 	n := e.grid.Size()
@@ -274,7 +276,12 @@ func (e *engine) initPopulation(initial []schedule.Schedule) {
 			s = schedule.NewRandom(e.in, e.r)
 		}
 		e.pop[i] = schedule.NewState(e.in, s)
-		e.cfg.LocalSearch.Improve(e.pop[i], e.cfg.Objective, e.cfg.LSIterations, e.r)
+		// Initialisation runs a local search per individual — seconds of
+		// work on large instances — so cancellation is polled here too;
+		// a cancelled engine still leaves every cell fully evaluated.
+		if !e.budget.Cancelled() {
+			e.cfg.LocalSearch.Improve(e.pop[i], e.cfg.Objective, e.cfg.LSIterations, e.r)
+		}
 		e.fit[i] = e.cfg.Objective.Of(e.pop[i])
 		e.evals++
 	}
@@ -389,17 +396,26 @@ func (e *engine) replace(c int, dst *schedule.State, f float64) {
 
 // iterateAsync runs one asynchronous iteration per Algorithm 1: the
 // recombination pass followed by the mutation pass, each on its own sweep
-// order, with replacements visible immediately.
+// order, with replacements visible immediately. Cancellation (and only
+// cancellation — time/iteration bounds stay iteration-granular for
+// determinism) is polled per update, since one full iteration of local
+// searches can cost seconds on large instances.
 func (e *engine) iterateAsync() {
 	popAt := func(i int) *schedule.State { return e.pop[i] }
 	fitAt := func(i int) float64 { return e.fit[i] }
 	for k := 0; k < e.cfg.Recombinations; k++ {
+		if e.budget.Cancelled() {
+			return
+		}
 		c := e.recOrd.Next()
 		f := e.recombineInto(c, e.scratch, e.child, popAt, fitAt, e.r)
 		e.evals++
 		e.replace(c, e.scratch, f)
 	}
 	for k := 0; k < e.cfg.Mutations; k++ {
+		if e.budget.Cancelled() {
+			return
+		}
 		c := e.mutOrd.Next()
 		f := e.mutateInto(c, e.scratch, popAt, e.r)
 		e.evals++

@@ -1,26 +1,24 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"gridcma/internal/cma"
 	"gridcma/internal/etc"
 	"gridcma/internal/ga"
 	"gridcma/internal/run"
+	"gridcma/internal/runner"
 	"gridcma/internal/sa"
 	"gridcma/internal/stats"
 	"gridcma/internal/tabu"
 )
 
-// Algorithm is the uniform face of every metaheuristic in the library;
-// cma.Scheduler, ga.Scheduler, sa.Scheduler and tabu.Scheduler satisfy it.
-type Algorithm interface {
-	Name() string
-	Run(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer) run.Result
-}
+// Algorithm is the uniform face of every metaheuristic in the library —
+// the runner package's Scheduler contract; cma.Scheduler, ga.Scheduler,
+// sa.Scheduler and tabu.Scheduler satisfy it.
+type Algorithm = runner.Scheduler
 
 // Assert the schedulers satisfy Algorithm.
 var (
@@ -80,45 +78,38 @@ type Sample struct {
 	Flowtimes    stats.Summary
 }
 
-// Repeat runs alg on in o.Runs times with seeds o.Seed, o.Seed+1, ... in
-// parallel and aggregates the results.
+// Repeat runs alg on in o.Runs times with seeds o.Seed, o.Seed+1, ... on
+// the batch executor's worker pool and aggregates the results.
 func Repeat(alg Algorithm, in *etc.Instance, o Options) Sample {
 	if err := o.Validate(); err != nil {
 		panic(err)
 	}
-	results := make([]run.Result, o.Runs)
-	workers := o.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
+	seeds := make([]uint64, o.Runs)
+	for k := range seeds {
+		seeds[k] = o.Seed + uint64(k)
 	}
-	if workers > o.Runs {
-		workers = o.Runs
+	batch, err := runner.RunBatch(o.Budget.Context(), runner.BatchSpec{
+		Instances:  []runner.Instance{{Name: in.Name, In: in}},
+		Schedulers: []runner.Scheduler{alg},
+		Budget:     o.Budget,
+		Seeds:      seeds,
+		Workers:    o.Workers,
+	})
+	if err != nil && err != context.Canceled && err != context.DeadlineExceeded {
+		panic(err)
 	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				k := next
-				next++
-				mu.Unlock()
-				if k >= o.Runs {
-					return
-				}
-				results[k] = alg.Run(in, o.Budget, o.Seed+uint64(k), nil)
-			}
-		}()
+	results := make([]run.Result, len(batch))
+	for i, b := range batch {
+		results[i] = b.Result
 	}
-	wg.Wait()
 	return aggregate(alg.Name(), in.Name, results)
 }
 
 func aggregate(alg, inst string, results []run.Result) Sample {
 	s := Sample{Algorithm: alg, Instance: inst, Runs: results}
+	if len(results) == 0 { // every run cancelled before starting
+		return s
+	}
 	ms := make([]float64, len(results))
 	fts := make([]float64, len(results))
 	bestIdx := 0

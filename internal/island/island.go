@@ -118,7 +118,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 		if budget.MaxIterations > 0 && totalIters+segIters > budget.MaxIterations {
 			segIters = budget.MaxIterations - totalIters
 		}
-		segBudget := run.Budget{MaxIterations: segIters}
+		segBudget := run.Budget{MaxIterations: segIters}.WithContext(budget.Context())
 		if budget.MaxTime > 0 {
 			remaining := budget.MaxTime - time.Since(start)
 			if remaining <= 0 {

@@ -7,13 +7,17 @@
 package run
 
 import (
+	"context"
 	"time"
 
 	"gridcma/internal/schedule"
 )
 
 // Budget bounds a run. A zero field means "unlimited"; at least one bound
-// must be set or the run would never terminate.
+// must be set or the run would never terminate. A Budget optionally
+// carries a context (WithContext): every engine loop polls it alongside
+// the time and iteration bounds, so cancelling the context stops any run
+// within one budget check.
 type Budget struct {
 	// MaxTime stops the run after a wall-clock duration. The paper uses
 	// 90 s (Table 1).
@@ -21,14 +25,69 @@ type Budget struct {
 	// MaxIterations stops after this many engine iterations (generations
 	// for the GAs, update sweeps for the cMA, proposals for SA/TS).
 	MaxIterations int
+
+	// ctx, when non-nil, cancels the run early. It rides inside the
+	// Budget so the positional engine signature stays unchanged while
+	// every termination check becomes context-aware.
+	ctx context.Context
 }
 
-// Bounded reports whether at least one bound is set.
-func (b Budget) Bounded() bool { return b.MaxTime > 0 || b.MaxIterations > 0 }
+// WithContext returns a copy of b that also terminates when ctx is done.
+func (b Budget) WithContext(ctx context.Context) Budget {
+	b.ctx = ctx
+	return b
+}
+
+// Context returns the budget's context, or context.Background when none
+// was attached.
+func (b Budget) Context() context.Context {
+	if b.ctx == nil {
+		return context.Background()
+	}
+	return b.ctx
+}
+
+// Bounded reports whether the run is guaranteed to terminate: at least
+// one explicit bound is set, or the attached context has a deadline.
+func (b Budget) Bounded() bool {
+	if b.MaxTime > 0 || b.MaxIterations > 0 {
+		return true
+	}
+	if b.ctx != nil {
+		if _, ok := b.ctx.Deadline(); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Cancelled reports whether the attached context has been cancelled.
+// Engines with expensive iterations poll it inside their update loops so
+// cancellation latency is one update, not one full iteration; it never
+// fires on time or iteration bounds, so the normal deterministic path is
+// untouched.
+func (b Budget) Cancelled() bool {
+	if b.ctx == nil {
+		return false
+	}
+	select {
+	case <-b.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
 
 // Done reports whether the budget is exhausted at the given iteration
-// count and start time.
+// count and start time, or the attached context has been cancelled.
 func (b Budget) Done(iter int, start time.Time) bool {
+	if b.ctx != nil {
+		select {
+		case <-b.ctx.Done():
+			return true
+		default:
+		}
+	}
 	if b.MaxIterations > 0 && iter >= b.MaxIterations {
 		return true
 	}

@@ -1,0 +1,75 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/run"
+)
+
+// Outcome is the result of one portfolio race.
+type Outcome struct {
+	// Best is the best result across the whole portfolio — usually the
+	// first finisher's, but a cancelled loser that had already found a
+	// better schedule wins on merit.
+	Best run.Result
+	// Winner is the index (into the racing schedulers) of Best.
+	Winner int
+	// Results holds every scheduler's result, index-aligned with the
+	// schedulers argument; losers report what they found before
+	// cancellation reached them.
+	Results []run.Result
+}
+
+// Race runs every scheduler on in concurrently, all from seeds derived
+// from seed, and cancels the rest of the portfolio as soon as the first
+// one finishes its budget — the losers stop at their next budget check
+// instead of waiting out the remaining time. The best result across the
+// portfolio (finished or interrupted) is returned.
+func Race(ctx context.Context, in *etc.Instance, schedulers []Scheduler, budget run.Budget, seed uint64) (Outcome, error) {
+	if len(schedulers) == 0 {
+		return Outcome{}, fmt.Errorf("runner: empty portfolio")
+	}
+	for i, s := range schedulers {
+		if s == nil {
+			return Outcome{}, fmt.Errorf("runner: nil scheduler at %d", i)
+		}
+	}
+	if in == nil {
+		return Outcome{}, fmt.Errorf("runner: nil instance")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A context deadline alone is a legitimate bound, same as for a
+	// single Scheduler.Run.
+	budget = budget.WithContext(ctx)
+	if !budget.Bounded() {
+		return Outcome{}, fmt.Errorf("runner: unbounded budget")
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]run.Result, len(schedulers))
+	var wg sync.WaitGroup
+	wg.Add(len(schedulers))
+	for i, s := range schedulers {
+		go func(i int, s Scheduler) {
+			defer wg.Done()
+			results[i] = s.Run(in, budget.WithContext(raceCtx), TaskSeed(seed, i, 0, 0), nil)
+			cancel() // first finisher ends the race; losers stop at their next check
+		}(i, s)
+	}
+	wg.Wait()
+
+	out := Outcome{Results: results}
+	for i, r := range results {
+		if i == 0 || r.Better(out.Best) {
+			out.Best = r
+			out.Winner = i
+		}
+	}
+	return out, ctx.Err()
+}
