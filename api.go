@@ -131,19 +131,28 @@ func DefaultCMAConfig() CMAConfig { return cma.DefaultConfig() }
 // NewCMA builds the cellular memetic scheduler from an explicit
 // configuration — the path for customised cMAs (operators, grids, local
 // search). For the stock paper-tuned algorithms use New("cma") instead.
+// WithWorkers at Run time overrides cfg.Workers, switching between the
+// sequential and the partitioned parallel engine per call.
 func NewCMA(cfg CMAConfig) (Scheduler, error) {
-	return newEngineScheduler(schedulerName(cfg), func(ls bool, l float64) (engineRunner, error) {
+	return newEngineScheduler(schedulerName(cfg), func(p buildParams) (engineRunner, error) {
 		c := cfg
-		c.Objective = objectiveFor(ls, l, c.Objective)
+		c.Objective = objectiveFor(p.lambdaSet, p.lambda, c.Objective)
+		if p.workersSet {
+			c.Workers = p.workers
+		}
 		return cma.New(c)
 	})
 }
 
 func schedulerName(cfg CMAConfig) string {
-	if cfg.Synchronous {
+	switch {
+	case cfg.Synchronous:
 		return "cma-sync"
+	case cfg.Workers > 0:
+		return "cma-par"
+	default:
+		return "cma"
 	}
-	return "cma"
 }
 
 // NewGA builds one of the baseline genetic algorithms with its published
@@ -155,27 +164,27 @@ func NewGA(v GAVariant) (Scheduler, error) {
 // newGAScheduler is the shared GA builder: the facade names schedulers by
 // the variant's display name, the registry by its kebab-case key.
 func newGAScheduler(name string, v GAVariant) (Scheduler, error) {
-	return newEngineScheduler(name, func(ls bool, l float64) (engineRunner, error) {
+	return newEngineScheduler(name, func(p buildParams) (engineRunner, error) {
 		cfg := ga.NewConfig(v)
-		cfg.Objective = objectiveFor(ls, l, cfg.Objective)
+		cfg.Objective = objectiveFor(p.lambdaSet, p.lambda, cfg.Objective)
 		return ga.New(cfg)
 	})
 }
 
 // NewSA builds the simulated annealing baseline.
 func NewSA() (Scheduler, error) {
-	return newEngineScheduler("sa", func(ls bool, l float64) (engineRunner, error) {
+	return newEngineScheduler("sa", func(p buildParams) (engineRunner, error) {
 		cfg := sa.DefaultConfig()
-		cfg.Objective = objectiveFor(ls, l, cfg.Objective)
+		cfg.Objective = objectiveFor(p.lambdaSet, p.lambda, cfg.Objective)
 		return sa.New(cfg)
 	})
 }
 
 // NewTabu builds the tabu search baseline.
 func NewTabu() (Scheduler, error) {
-	return newEngineScheduler("tabu", func(ls bool, l float64) (engineRunner, error) {
+	return newEngineScheduler("tabu", func(p buildParams) (engineRunner, error) {
 		cfg := tabu.DefaultConfig()
-		cfg.Objective = objectiveFor(ls, l, cfg.Objective)
+		cfg.Objective = objectiveFor(p.lambdaSet, p.lambda, cfg.Objective)
 		return tabu.New(cfg)
 	})
 }
@@ -242,11 +251,16 @@ type (
 // iterations.
 func DefaultIslandConfig() IslandConfig { return island.DefaultConfig() }
 
-// NewIsland builds the parallel island-model scheduler.
+// NewIsland builds the parallel island-model scheduler. WithWorkers
+// propagates to each island's cMA, so the islands themselves run the
+// partitioned parallel engine.
 func NewIsland(cfg IslandConfig) (Scheduler, error) {
-	return newEngineScheduler("island", func(ls bool, l float64) (engineRunner, error) {
+	return newEngineScheduler("island", func(p buildParams) (engineRunner, error) {
 		c := cfg
-		c.Base.Objective = objectiveFor(ls, l, c.Base.Objective)
+		c.Base.Objective = objectiveFor(p.lambdaSet, p.lambda, c.Base.Objective)
+		if p.workersSet {
+			c.Base.Workers = p.workers
+		}
 		return island.New(c)
 	})
 }

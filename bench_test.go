@@ -8,6 +8,8 @@
 package gridcma_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"gridcma/internal/cma"
@@ -237,7 +239,11 @@ func BenchmarkCMAWallClock(b *testing.B) {
 
 // BenchmarkLargeInstances exercises the "larger size grid instances"
 // future-work direction: CVB-generated grids beyond the 512×16 benchmark,
-// scheduled with the sampled-LMCTS cMA.
+// scheduled with the sampled-LMCTS cMA. Besides the sequential engine it
+// runs the block-parallel engine at Workers = 1 and Workers = GOMAXPROCS
+// on an 8×8 population grid — the speedup of par-wN over par-w1 is the
+// parallel engine's headline number on multicore hardware, and both rungs
+// produce byte-identical schedules.
 func BenchmarkLargeInstances(b *testing.B) {
 	sizes := []struct {
 		name        string
@@ -246,26 +252,41 @@ func BenchmarkLargeInstances(b *testing.B) {
 		{"1024x32", 1024, 32},
 		{"2048x64", 2048, 64},
 	}
+	variants := []struct {
+		name    string
+		workers int // -1 = sequential engine
+	}{
+		{"seq", -1},
+		{"par-w1", 1},
+		{fmt.Sprintf("par-w%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	}
 	for _, sz := range sizes {
 		sz := sz
-		b.Run(sz.name, func(b *testing.B) {
-			in, err := etc.GenerateCVB(sz.name, etc.CVBOptions{
-				Jobs: sz.jobs, Machs: sz.machs, TaskMean: 500, Vtask: 0.6, Vmach: 0.6, Seed: 1})
-			if err != nil {
-				b.Fatal(err)
-			}
-			cfg := cma.DefaultConfig()
-			cfg.LocalSearch = localsearch.SampledLMCTS{Samples: 64}
-			sched, err := cma.New(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			var last run.Result
-			for i := 0; i < b.N; i++ {
-				last = sched.Run(in, run.Budget{MaxIterations: 5}, 1, nil)
-			}
-			b.ReportMetric(last.Makespan, "makespan")
-		})
+		in, err := etc.GenerateCVB(sz.name, etc.CVBOptions{
+			Jobs: sz.jobs, Machs: sz.machs, TaskMean: 500, Vtask: 0.6, Vmach: 0.6, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range variants {
+			v := v
+			b.Run(sz.name+"/"+v.name, func(b *testing.B) {
+				cfg := cma.DefaultConfig()
+				cfg.LocalSearch = localsearch.SampledLMCTS{Samples: 64}
+				if v.workers >= 0 {
+					cfg.Width, cfg.Height = 8, 8
+					cfg.Workers = v.workers
+				}
+				sched, err := cma.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var last run.Result
+				for i := 0; i < b.N; i++ {
+					last = sched.Run(in, run.Budget{MaxIterations: 5}, 1, nil)
+				}
+				b.ReportMetric(last.Makespan, "makespan")
+			})
+		}
 	}
 }
 

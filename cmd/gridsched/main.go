@@ -6,8 +6,8 @@
 //	gridsched -instance u_i_lolo.0 -alg struggle-ga -iters 2000 -runs 5
 //	gridsched -instance u_c_hihi.0 -race cma,sa,tabu -time 2s
 //
-// Algorithms come from the registry (gridsched -list): cma, cma-sync,
-// island, braun-ga, ss-ga, struggle-ga, gsa, sa, tabu, plus every
+// Algorithms come from the registry (gridsched -list): cma, cma-par,
+// cma-sync, island, braun-ga, ss-ga, struggle-ga, gsa, sa, tabu, plus every
 // constructive heuristic (ljfr-sjfr, minmin, maxmin, duplex, sufferage,
 // mct, met, olb, kpb). Ctrl-C cancels a running search and reports the
 // best schedule found so far. Add -gantt for an ASCII timeline of the
@@ -43,6 +43,7 @@ func main() {
 		runs     = flag.Int("runs", 1, "independent runs (best reported)")
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		lambda   = flag.Float64("lambda", -1, "makespan weight λ of the objective (default: the paper's 0.75)")
+		workers  = flag.Int("workers", 0, "goroutines evaluating offspring (cMA engines; results are identical for any value >= 1)")
 		verbose  = flag.Bool("v", false, "print progress every iteration")
 		list     = flag.Bool("list", false, "list algorithms and instances, then exit")
 		gantt    = flag.Bool("gantt", false, "render an ASCII gantt of the best schedule")
@@ -82,6 +83,9 @@ func main() {
 	opts := []gridcma.RunOption{gridcma.WithBudget(budget)}
 	if *lambda >= 0 {
 		opts = append(opts, gridcma.WithLambda(*lambda))
+	}
+	if *workers > 0 {
+		opts = append(opts, gridcma.WithWorkers(*workers))
 	}
 
 	// Ctrl-C cancels the search; the best-so-far schedule is still

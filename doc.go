@@ -28,14 +28,27 @@
 //
 // Algorithms are built by name from the registry. The built-in names are
 //
-//	cma cma-sync island braun-ga ss-ga struggle-ga gsa sa tabu
+//	cma cma-par cma-sync island braun-ga ss-ga struggle-ga gsa sa tabu
 //
 // (Algorithms lists them; Register adds your own.) Run is configured with
 // functional options: WithBudget / WithMaxTime / WithMaxIterations bound
 // the search, WithSeed makes it reproducible, WithObserver streams
-// progress, and WithLambda reweighs the bi-objective fitness
-// λ·makespan + (1−λ)·mean_flowtime (default 0.75). Options passed to New
-// become defaults for every Run of that scheduler.
+// progress, WithLambda reweighs the bi-objective fitness
+// λ·makespan + (1−λ)·mean_flowtime (default 0.75), and WithWorkers sets
+// the goroutines evaluating offspring. Options passed to New become
+// defaults for every Run of that scheduler.
+//
+// # Parallelism and determinism
+//
+// cma-par is the block-parallel asynchronous engine: the population grid
+// is partitioned (internal/cell.Partition) into waves of cells with
+// non-overlapping neighborhoods, each wave's offspring are evaluated
+// concurrently from per-update RNG streams, and commits happen in draw
+// order between waves. Results depend only on the seed — a run with
+// WithWorkers(1) and WithWorkers(64) yields byte-identical schedules, so
+// parallel runs stay reproducible across machines. cma-sync applies the
+// same executor with the whole generation as one frozen wave. The
+// sequential cma keeps the paper's exact single-stream semantics.
 //
 // Quick start:
 //

@@ -246,6 +246,16 @@ func NewSweep(o Order, size int, r *rng.Source) SweepOrder {
 	}
 }
 
+// NewPermSweep builds a fixed sweep visiting cells in the given order
+// every pass. The block-parallel cMA uses it with a Partition's wave
+// order, so its sweeps stay aligned with the independent cell sets.
+func NewPermSweep(name string, perm []int) SweepOrder {
+	if len(perm) == 0 {
+		panic("cell: sweep over empty permutation")
+	}
+	return &randSweep{perm: perm, fixed: true, name: name}
+}
+
 type lineSweep struct {
 	size, pos int
 }
@@ -267,6 +277,7 @@ type randSweep struct {
 	pos   int
 	fixed bool
 	r     *rng.Source
+	name  string // optional display-name override (perm sweeps)
 }
 
 func (s *randSweep) Next() int {
@@ -289,6 +300,9 @@ func (s *randSweep) Reset() {
 }
 
 func (s *randSweep) Name() string {
+	if s.name != "" {
+		return s.name
+	}
 	if s.fixed {
 		return "FRS"
 	}

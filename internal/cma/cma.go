@@ -9,15 +9,23 @@
 // improved by a local search method before evaluation and replaces the
 // individual at its cell only if strictly better ("add only if better").
 //
-// Two updating disciplines are provided:
+// Three updating disciplines are provided:
 //
-//   - Asynchronous (the paper's choice): updates are applied in sweep
-//     order within the iteration, so later cells see earlier replacements.
+//   - Asynchronous sequential (the paper's choice, Workers = 0): updates
+//     are applied in sweep order within the iteration, so later cells see
+//     earlier replacements. One shared RNG stream, strictly sequential.
+//   - Asynchronous block-parallel (Workers >= 1): the grid is partitioned
+//     (internal/cell.Partition) and cells are swept in its wave order —
+//     a cover of the grid by pairwise non-interacting cell sets. Updates
+//     are planned into execution waves, each wave's offspring evaluated
+//     concurrently across Workers goroutines from per-update RNG streams,
+//     and committed in draw order, so later waves see earlier
+//     replacements. Because intra-wave updates touch disjoint
+//     neighborhoods, the run is byte-identical for every worker count.
 //   - Synchronous: all offspring of an iteration are computed against the
-//     frozen current generation and committed together at the end. Because
-//     cells are then independent, the engine evaluates them in parallel
-//     across Workers goroutines with per-cell deterministic RNG streams —
-//     results are reproducible regardless of scheduling.
+//     frozen current generation and committed together at the end — one
+//     big wave of the same executor, equally reproducible for any
+//     Workers.
 package cma
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"gridcma/internal/cell"
 	"gridcma/internal/etc"
+	"gridcma/internal/evalpool"
 	"gridcma/internal/heuristics"
 	"gridcma/internal/localsearch"
 	"gridcma/internal/operators"
@@ -70,9 +79,12 @@ type Config struct {
 
 	// Synchronous switches to generation-synchronous updating.
 	Synchronous bool
-	// Workers bounds the goroutines used in synchronous mode; 0 means
-	// one (sequential). Asynchronous mode is inherently sequential and
-	// ignores it.
+	// Workers bounds the goroutines evaluating offspring. In asynchronous
+	// mode 0 selects the paper-faithful strictly sequential engine (one
+	// shared RNG stream), while any value >= 1 selects the block-parallel
+	// partitioned engine, whose results depend only on the seed — never on
+	// the worker count. In synchronous mode 0 means one goroutine; results
+	// are likewise identical for every worker count.
 	Workers int
 }
 
@@ -149,10 +161,14 @@ func (s *Scheduler) Config() Config { return s.cfg }
 
 // Name identifies the algorithm in results.
 func (s *Scheduler) Name() string {
-	if s.cfg.Synchronous {
+	switch {
+	case s.cfg.Synchronous:
 		return "cMA-sync"
+	case s.cfg.Workers > 0:
+		return "cMA-par"
+	default:
+		return "cMA"
 	}
-	return "cMA"
 }
 
 // Run executes the cMA on instance in with the given budget and RNG seed,
@@ -210,18 +226,22 @@ type engine struct {
 	recOrd cell.SweepOrder
 	mutOrd cell.SweepOrder
 
-	// scratch buffers reused across updates
-	child   schedule.Schedule
-	scratch *schedule.State
-	syncCtx map[int]*workerCtx // per-worker scratch for synchronous mode
+	// allocation-free evaluation plumbing (internal/evalpool)
+	pool    *evalpool.Pool
+	scratch *evalpool.Scratch // sequential-path offspring workspace
 	evals   int64
+
+	// partitioned parallel executor state (par.go); nil/empty for the
+	// sequential engine
+	part      *cell.Partition
+	draws     []draw
+	drawCells []int
+	waves     [][]int
+	frozenFit []float64
 
 	// best-ever (the population best is monotone under add-if-better,
 	// but we track explicitly to also support AddOnlyIfBetter=false).
-	best    schedule.Schedule
-	bestFit float64
-	bestMS  float64
-	bestFT  float64
+	best evalpool.Best
 }
 
 func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Schedule, budget run.Budget) *engine {
@@ -232,17 +252,34 @@ func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Sch
 		seed:   seed,
 		grid:   cell.NewGrid(cfg.Width, cfg.Height),
 		budget: budget,
+		pool:   evalpool.New(in),
 	}
 	e.nb = cell.NewNeighborhood(e.grid, cfg.Pattern)
 	n := e.grid.Size()
 	e.pop = make([]*schedule.State, n)
 	e.fit = make([]float64, n)
-	e.recOrd = cell.NewSweep(cfg.RecombOrder, n, e.r.Split())
-	e.mutOrd = cell.NewSweep(cfg.MutOrder, n, e.r.Split())
-	e.child = make(schedule.Schedule, in.Jobs)
+	if !cfg.Synchronous && cfg.Workers > 0 {
+		// Block-parallel engine: both passes sweep the partition's wave
+		// order, so consecutive draws form wide independent waves.
+		e.part = cell.NewPartition(e.grid, cfg.Pattern)
+		ord := e.part.Order()
+		e.recOrd = cell.NewPermSweep("WAVE", ord)
+		e.mutOrd = cell.NewPermSweep("WAVE", append([]int(nil), ord...))
+	} else {
+		e.recOrd = cell.NewSweep(cfg.RecombOrder, n, e.r.Split())
+		e.mutOrd = cell.NewSweep(cfg.MutOrder, n, e.r.Split())
+	}
 
 	e.initPopulation(initial)
 	return e
+}
+
+// workers returns the effective worker count of the parallel paths.
+func (e *engine) workers() int {
+	if e.cfg.Workers < 1 {
+		return 1
+	}
+	return e.cfg.Workers
 }
 
 // initPopulation builds the initial mesh. With an explicit initial
@@ -251,6 +288,11 @@ func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Sch
 // the mesh is the seed heuristic individual plus perturbed copies (or
 // all-random when no seed heuristic). In every case — per Algorithm 1 —
 // local search improves each individual before the first evaluation.
+//
+// With Workers >= 1 the per-cell work (perturbation and local search)
+// draws from per-cell RNG streams and is fanned across the workers; the
+// result is identical for every worker count. Workers == 0 keeps the
+// legacy strictly sequential initialisation on the shared stream.
 func (e *engine) initPopulation(initial []schedule.Schedule) {
 	var base schedule.Schedule
 	if len(initial) > 0 {
@@ -262,51 +304,47 @@ func (e *engine) initPopulation(initial []schedule.Schedule) {
 	if frac == 0 {
 		frac = 0.3
 	}
-	for i := range e.pop {
-		var s schedule.Schedule
-		switch {
-		case i < len(initial):
-			s = initial[i].Clone()
-		case base != nil && i == 0:
-			s = base.Clone()
-		case base != nil:
-			s = base.Clone()
-			schedule.Perturb(s, e.in, e.r, frac)
-		default:
-			s = schedule.NewRandom(e.in, e.r)
+	if e.cfg.Workers >= 1 {
+		e.initCells(initial, base, frac)
+	} else {
+		for i := range e.pop {
+			e.initCell(i, initial, base, frac, e.r)
 		}
-		e.pop[i] = schedule.NewState(e.in, s)
-		// Initialisation runs a local search per individual — seconds of
-		// work on large instances — so cancellation is polled here too;
-		// a cancelled engine still leaves every cell fully evaluated.
-		if !e.budget.Cancelled() {
-			e.cfg.LocalSearch.Improve(e.pop[i], e.cfg.Objective, e.cfg.LSIterations, e.r)
-		}
-		e.fit[i] = e.cfg.Objective.Of(e.pop[i])
-		e.evals++
 	}
-	e.scratch = schedule.NewState(e.in, e.pop[0].Schedule())
+	e.evals += int64(len(e.pop))
+	e.scratch = e.pool.Get()
 	e.refreshBest()
+}
+
+// initCell builds, improves and evaluates the individual of one cell.
+// Initialisation runs a local search per individual — seconds of work on
+// large instances — so cancellation is polled here too; a cancelled
+// engine still leaves every cell fully evaluated.
+func (e *engine) initCell(i int, initial []schedule.Schedule, base schedule.Schedule, frac float64, r *rng.Source) {
+	var s schedule.Schedule
+	switch {
+	case i < len(initial):
+		s = initial[i].Clone()
+	case base != nil && i == 0:
+		s = base.Clone()
+	case base != nil:
+		s = base.Clone()
+		schedule.Perturb(s, e.in, r, frac)
+	default:
+		s = schedule.NewRandom(e.in, r)
+	}
+	e.pop[i] = schedule.NewState(e.in, s)
+	if !e.budget.Cancelled() {
+		e.cfg.LocalSearch.Improve(e.pop[i], e.cfg.Objective, e.cfg.LSIterations, r)
+	}
+	e.fit[i] = e.cfg.Objective.Of(e.pop[i])
 }
 
 func (e *engine) refreshBest() {
 	for i, f := range e.fit {
-		if e.best == nil || f < e.bestFit {
-			e.bestFit = f
-			e.best = e.pop[i].Schedule()
-			e.bestMS = e.pop[i].Makespan()
-			e.bestFT = e.pop[i].Flowtime()
+		if !e.best.Ok() || f < e.best.Fitness() {
+			e.best.Note(e.pop[i], f)
 		}
-	}
-}
-
-// noteIfBest records st as the best-ever solution if it improves.
-func (e *engine) noteIfBest(st *schedule.State, f float64) {
-	if e.best == nil || f < e.bestFit {
-		e.bestFit = f
-		e.best = st.Schedule()
-		e.bestMS = st.Makespan()
-		e.bestFT = st.Flowtime()
 	}
 }
 
@@ -318,27 +356,30 @@ func (e *engine) run(budget run.Budget, obs run.Observer, name string) run.Resul
 			obs(run.Progress{
 				Elapsed:   time.Since(start),
 				Iteration: iter,
-				Fitness:   e.bestFit,
-				Makespan:  e.bestMS,
-				Flowtime:  e.bestFT,
+				Fitness:   e.best.Fitness(),
+				Makespan:  e.best.Makespan(),
+				Flowtime:  e.best.Flowtime(),
 			})
 		}
 	}
 	emit()
 	for !budget.Done(iter, start) {
-		if e.cfg.Synchronous {
-			e.iterateSync(iter)
-		} else {
+		switch {
+		case e.cfg.Synchronous:
+			e.iterateBatch(iter, true)
+		case e.cfg.Workers > 0:
+			e.iterateBatch(iter, false)
+		default:
 			e.iterateAsync()
 		}
 		iter++
 		emit()
 	}
 	return run.Result{
-		Best:       e.best,
-		Fitness:    e.bestFit,
-		Makespan:   e.bestMS,
-		Flowtime:   e.bestFT,
+		Best:       e.best.Schedule(),
+		Fitness:    e.best.Fitness(),
+		Makespan:   e.best.Makespan(),
+		Flowtime:   e.best.Flowtime(),
 		Iterations: iter,
 		Evals:      e.evals,
 		Elapsed:    time.Since(start),
@@ -346,52 +387,53 @@ func (e *engine) run(budget run.Budget, obs run.Observer, name string) run.Resul
 	}
 }
 
-// recombineInto computes one recombination offspring for cell c into dst,
-// using buf as the crossover scratch buffer. It selects
-// SolutionsToRecombine distinct parents from the neighborhood with the
-// configured selector, recombines the two fittest and improves the child
-// with local search. fitAt reads fitness of a cell (differs between async,
-// which sees fresh values, and sync, which sees the frozen generation).
-// Returns the child's fitness.
-func (e *engine) recombineInto(c int, dst *schedule.State, buf schedule.Schedule, popAt func(int) *schedule.State, fitAt func(int) float64, r *rng.Source) float64 {
-	sel := operators.SelectDistinct(e.cfg.Selector, e.cfg.SolutionsToRecombine, e.nb.Of[c], fitAt, r)
+// recombineInto computes one recombination offspring for cell c into the
+// scratch workspace s (Propose: crossover into s.Buf; Improve: local
+// search on s.St). It selects SolutionsToRecombine distinct parents from
+// the neighborhood with the configured selector and recombines the two
+// fittest. fitAt reads fitness of a cell (differs between async, which
+// sees fresh values, and sync, which sees the frozen generation). Returns
+// the child's fitness.
+func (e *engine) recombineInto(c int, s *evalpool.Scratch, popAt func(int) *schedule.State, fitAt func(int) float64, r *rng.Source) float64 {
+	sel := operators.SelectDistinctInto(e.cfg.Selector, e.cfg.SolutionsToRecombine, e.nb.Of[c], fitAt, r, s.Idx)
+	s.Idx = sel
 	// Two fittest of S.
 	p1, p2 := sel[0], sel[1]
 	if fitAt(p2) < fitAt(p1) {
 		p1, p2 = p2, p1
 	}
-	for _, s := range sel[2:] {
+	for _, x := range sel[2:] {
 		switch {
-		case fitAt(s) < fitAt(p1):
-			p2, p1 = p1, s
-		case fitAt(s) < fitAt(p2):
-			p2 = s
+		case fitAt(x) < fitAt(p1):
+			p2, p1 = p1, x
+		case fitAt(x) < fitAt(p2):
+			p2 = x
 		}
 	}
-	e.cfg.Crossover.Cross(popAt(p1).ScheduleView(), popAt(p2).ScheduleView(), buf, r)
-	dst.SetSchedule(buf)
-	e.cfg.LocalSearch.Improve(dst, e.cfg.Objective, e.cfg.LSIterations, r)
-	return e.cfg.Objective.Of(dst)
+	e.cfg.Crossover.Cross(popAt(p1).ScheduleView(), popAt(p2).ScheduleView(), s.Buf, r)
+	s.St.SetSchedule(s.Buf)
+	e.cfg.LocalSearch.Improve(s.St, e.cfg.Objective, e.cfg.LSIterations, r)
+	return e.cfg.Objective.Of(s.St)
 }
 
-// mutateInto copies cell c into dst, applies the mutation operator and
-// local search. Returns the offspring fitness.
-func (e *engine) mutateInto(c int, dst *schedule.State, popAt func(int) *schedule.State, r *rng.Source) float64 {
-	dst.CopyFrom(popAt(c))
-	e.cfg.Mutator.Mutate(dst, r)
-	e.cfg.LocalSearch.Improve(dst, e.cfg.Objective, e.cfg.LSIterations, r)
-	return e.cfg.Objective.Of(dst)
+// mutateInto copies cell c into the scratch workspace, applies the
+// mutation operator and local search. Returns the offspring fitness.
+func (e *engine) mutateInto(c int, s *evalpool.Scratch, popAt func(int) *schedule.State, r *rng.Source) float64 {
+	s.St.CopyFrom(popAt(c))
+	e.cfg.Mutator.Mutate(s.St, r)
+	e.cfg.LocalSearch.Improve(s.St, e.cfg.Objective, e.cfg.LSIterations, r)
+	return e.cfg.Objective.Of(s.St)
 }
 
 // replace commits offspring dst (fitness f) into cell c when the
-// replacement policy allows.
+// replacement policy allows (Commit of the offspring pipeline).
 func (e *engine) replace(c int, dst *schedule.State, f float64) {
 	if e.cfg.AddOnlyIfBetter && f >= e.fit[c] {
 		return
 	}
 	e.pop[c].CopyFrom(dst)
 	e.fit[c] = f
-	e.noteIfBest(dst, f)
+	e.best.Note(dst, f)
 }
 
 // iterateAsync runs one asynchronous iteration per Algorithm 1: the
@@ -408,9 +450,9 @@ func (e *engine) iterateAsync() {
 			return
 		}
 		c := e.recOrd.Next()
-		f := e.recombineInto(c, e.scratch, e.child, popAt, fitAt, e.r)
+		f := e.recombineInto(c, e.scratch, popAt, fitAt, e.r)
 		e.evals++
-		e.replace(c, e.scratch, f)
+		e.replace(c, e.scratch.St, f)
 	}
 	for k := 0; k < e.cfg.Mutations; k++ {
 		if e.budget.Cancelled() {
@@ -419,6 +461,6 @@ func (e *engine) iterateAsync() {
 		c := e.mutOrd.Next()
 		f := e.mutateInto(c, e.scratch, popAt, e.r)
 		e.evals++
-		e.replace(c, e.scratch, f)
+		e.replace(c, e.scratch.St, f)
 	}
 }

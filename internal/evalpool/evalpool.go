@@ -1,0 +1,141 @@
+// Package evalpool provides the allocation-free evaluation plumbing shared
+// by every metaheuristic engine: a pool of reusable scratch evaluators and
+// an in-place best-solution tracker.
+//
+// Offspring in the engines follow one pipeline: Propose (fill a genotype
+// buffer from parents, or copy an existing individual), Improve (local
+// search on the scratch State) and Commit (copy the accepted offspring
+// into the population and note it with a Best tracker). A Scratch carries
+// everything the pipeline needs — an incremental State, a genotype buffer
+// for crossover output and an index buffer for selection — so the hot loop
+// of a run touches no allocator after warm-up.
+package evalpool
+
+import (
+	"sync"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/schedule"
+)
+
+// Scratch is one reusable offspring workspace.
+type Scratch struct {
+	// St is the incremental evaluator holding the offspring being built.
+	St *schedule.State
+	// Buf is a genotype buffer of length nb_jobs (crossover output,
+	// schedule staging).
+	Buf schedule.Schedule
+	// Idx is a small reusable index buffer (parent selection).
+	Idx []int
+}
+
+// Pool hands out Scratches for one instance. Get and Put are safe for
+// concurrent use; the Scratches themselves are single-owner while checked
+// out. A Scratch's State starts (and is returned to callers) holding an
+// unspecified valid schedule — callers always SetSchedule or CopyFrom
+// before reading.
+type Pool struct {
+	in *etc.Instance
+
+	mu   sync.Mutex
+	free []*Scratch
+}
+
+// New returns an empty pool bound to in.
+func New(in *etc.Instance) *Pool {
+	return &Pool{in: in}
+}
+
+// Instance returns the instance the pool's scratches evaluate against.
+func (p *Pool) Instance() *etc.Instance { return p.in }
+
+// Get returns a Scratch, reusing a previously returned one when possible.
+func (p *Pool) Get() *Scratch {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	// Fresh scratch: seed the State with the all-zero schedule, which is
+	// valid for every instance.
+	return &Scratch{
+		St:  schedule.NewState(p.in, make(schedule.Schedule, p.in.Jobs)),
+		Buf: make(schedule.Schedule, p.in.Jobs),
+		Idx: make([]int, 0, 8),
+	}
+}
+
+// Put returns a Scratch to the pool for reuse. Putting nil is a no-op.
+func (p *Pool) Put(s *Scratch) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// Warm pre-creates n scratches so a run's first iteration does not pay
+// their construction inside the measured hot path.
+func (p *Pool) Warm(n int) {
+	scratches := make([]*Scratch, n)
+	for i := range scratches {
+		scratches[i] = p.Get()
+	}
+	for _, s := range scratches {
+		p.Put(s)
+	}
+}
+
+// Best tracks the best solution seen by a run without allocating per
+// improvement: the schedule snapshot is copied in place into one buffer.
+// The zero value is ready to use. Not safe for concurrent use; parallel
+// engines reduce into it from one goroutine.
+type Best struct {
+	sched    schedule.Schedule
+	fit      float64
+	makespan float64
+	flowtime float64
+	ok       bool
+}
+
+// Note records st (with fitness fit) if it improves the tracked best,
+// reporting whether it did.
+func (b *Best) Note(st *schedule.State, fit float64) bool {
+	if b.ok && fit >= b.fit {
+		return false
+	}
+	if b.sched == nil {
+		b.sched = st.Schedule()
+	} else {
+		b.sched.CopyFrom(st.ScheduleView())
+	}
+	b.fit, b.makespan, b.flowtime = fit, st.Makespan(), st.Flowtime()
+	b.ok = true
+	return true
+}
+
+// Ok reports whether any solution has been noted.
+func (b *Best) Ok() bool { return b.ok }
+
+// Fitness returns the best fitness noted so far.
+func (b *Best) Fitness() float64 { return b.fit }
+
+// Makespan returns the makespan of the best solution.
+func (b *Best) Makespan() float64 { return b.makespan }
+
+// Flowtime returns the flowtime of the best solution.
+func (b *Best) Flowtime() float64 { return b.flowtime }
+
+// Schedule returns the tracked best schedule. The returned slice is the
+// tracker's internal buffer: it is only safe to retain after the run
+// stops noting (engines hand it out once, in their final Result).
+func (b *Best) Schedule() schedule.Schedule {
+	if !b.ok {
+		return nil
+	}
+	return b.sched
+}

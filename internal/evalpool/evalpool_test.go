@@ -1,0 +1,128 @@
+package evalpool
+
+import (
+	"sync"
+	"testing"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
+)
+
+func testInstance() *etc.Instance {
+	return etc.Generate(etc.Class{Consistency: etc.Consistent, JobHet: etc.Low, MachineHet: etc.Low},
+		0, etc.GenerateOptions{Seed: 3, Jobs: 64, Machs: 4})
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := New(testInstance())
+	a := p.Get()
+	p.Put(a)
+	b := p.Get()
+	if a != b {
+		t.Fatal("pool did not reuse the returned scratch")
+	}
+	if len(b.Buf) != p.Instance().Jobs {
+		t.Fatalf("buf length %d, want %d", len(b.Buf), p.Instance().Jobs)
+	}
+	p.Put(nil) // must not panic
+}
+
+func TestPoolWarm(t *testing.T) {
+	p := New(testInstance())
+	p.Warm(5)
+	seen := map[*Scratch]bool{}
+	for i := 0; i < 5; i++ {
+		s := p.Get()
+		if seen[s] {
+			t.Fatal("duplicate scratch handed out")
+		}
+		seen[s] = true
+	}
+}
+
+func TestPoolConcurrentGetPut(t *testing.T) {
+	p := New(testInstance())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := p.Get()
+				s.Buf[0] = i % p.Instance().Machs
+				p.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestScratchStateUsable(t *testing.T) {
+	in := testInstance()
+	p := New(in)
+	s := p.Get()
+	r := rng.New(1)
+	sched := schedule.NewRandom(in, r)
+	s.St.SetSchedule(sched)
+	if !s.St.ScheduleView().Equal(sched) {
+		t.Fatal("scratch state did not adopt the schedule")
+	}
+	if s.St.Makespan() <= 0 {
+		t.Fatal("no makespan after SetSchedule")
+	}
+}
+
+func TestBestTracksImprovementsInPlace(t *testing.T) {
+	in := testInstance()
+	r := rng.New(9)
+	st := schedule.NewState(in, schedule.NewRandom(in, r))
+	o := schedule.DefaultObjective
+
+	var b Best
+	if b.Ok() || b.Schedule() != nil {
+		t.Fatal("zero Best claims a solution")
+	}
+	f0 := o.Of(st)
+	if !b.Note(st, f0) {
+		t.Fatal("first note must improve")
+	}
+	firstBuf := b.Schedule()
+	if !firstBuf.Equal(st.ScheduleView()) {
+		t.Fatal("snapshot mismatch")
+	}
+	if b.Note(st, f0) {
+		t.Fatal("equal fitness must not improve")
+	}
+	if b.Note(st, f0+1) {
+		t.Fatal("worse fitness must not improve")
+	}
+
+	// Mutate the state to something better and note it: the same buffer
+	// must be updated in place (no allocation per improvement).
+	prevMS := b.Makespan()
+	for k := 0; k < 2000 && o.Of(st) >= b.Fitness(); k++ {
+		j, m := r.Intn(in.Jobs), r.Intn(in.Machs)
+		before := o.Of(st)
+		from := st.Assign(j)
+		st.Move(j, m)
+		if o.Of(st) >= before {
+			st.Move(j, from)
+		}
+	}
+	if o.Of(st) >= b.Fitness() {
+		t.Skip("could not construct an improvement")
+	}
+	if !b.Note(st, o.Of(st)) {
+		t.Fatal("improvement not recorded")
+	}
+	if &b.Schedule()[0] != &firstBuf[0] {
+		t.Fatal("improvement reallocated the snapshot buffer")
+	}
+	if b.Makespan() == prevMS && b.Flowtime() == 0 {
+		t.Fatal("objective components not refreshed")
+	}
+	if !b.Schedule().Equal(st.ScheduleView()) {
+		t.Fatal("snapshot does not match the improved state")
+	}
+}

@@ -1,12 +1,31 @@
 package experiments
 
 import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
 	"bytes"
 	"strings"
-	"testing"
 
 	"gridcma/internal/run"
 )
+
+// The package's tests reproduce the paper's full table/figure pipeline at
+// reduced budgets — minutes of engine time. They are part of the normal
+// suite but skipped wholesale under -short, which the CI race job uses:
+// the race detector's overhead on this volume of pure compute exceeds
+// test timeouts without exercising any concurrency the engine packages'
+// own race-run tests don't already cover.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if testing.Short() {
+		fmt.Println("skipping experiments reproduction tests in -short mode")
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // tiny options keep the full-table tests fast; the qualitative shapes they
 // assert are budget-robust.

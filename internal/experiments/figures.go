@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"gridcma/internal/cell"
@@ -76,10 +77,18 @@ func traceVariant(label string, cfg cma.Config, o Options) Series {
 		if len(trace) < len(agg) {
 			agg = agg[:len(trace)] // time-budgeted runs may differ in length
 		}
+		// The figures plot makespan *reduction*, so each run contributes
+		// its running-minimum makespan: the engines track the best
+		// solution by scalarised fitness, under which the best-so-far
+		// makespan alone may occasionally tick upwards.
+		low := math.Inf(1)
 		for i := range agg {
+			if trace[i].Makespan < low {
+				low = trace[i].Makespan
+			}
 			agg[i].Iteration = trace[i].Iteration
 			agg[i].Elapsed += trace[i].Elapsed
-			agg[i].Makespan += trace[i].Makespan
+			agg[i].Makespan += low
 		}
 	}
 	for i := range agg {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gridcma/internal/etc"
+	"gridcma/internal/evalpool"
 	"gridcma/internal/heuristics"
 	"gridcma/internal/operators"
 	"gridcma/internal/rng"
@@ -217,19 +218,21 @@ type gaState struct {
 
 	pop []*schedule.State
 	fit []float64
+	// next/nextFit double-buffer the generational variant so a
+	// generation swaps populations instead of allocating one.
+	next    []*schedule.State
+	nextFit []float64
 
-	child   schedule.Schedule
-	scratch *schedule.State
+	pool    *evalpool.Pool
+	scratch *evalpool.Scratch
 	evals   int64
 	temp    float64 // GSA temperature
 
-	best    schedule.Schedule
-	bestFit float64
-	bestMS  float64
-	bestFT  float64
+	best evalpool.Best
 }
 
 func (g *gaState) init() {
+	g.pool = evalpool.New(g.in)
 	g.pop = make([]*schedule.State, g.cfg.PopSize)
 	g.fit = make([]float64, g.cfg.PopSize)
 	for i := range g.pop {
@@ -242,41 +245,32 @@ func (g *gaState) init() {
 		g.pop[i] = schedule.NewState(g.in, s)
 		g.fit[i] = g.cfg.Objective.Of(g.pop[i])
 		g.evals++
-		g.noteIfBest(g.pop[i], g.fit[i])
+		g.best.Note(g.pop[i], g.fit[i])
 	}
-	g.child = make(schedule.Schedule, g.in.Jobs)
-	g.scratch = schedule.NewState(g.in, g.pop[0].Schedule())
+	g.scratch = g.pool.Get()
 	if g.cfg.Variant == GSA {
-		g.temp = g.cfg.InitialTempFactor * g.bestFit
-	}
-}
-
-func (g *gaState) noteIfBest(st *schedule.State, f float64) {
-	if g.best == nil || f < g.bestFit {
-		g.bestFit = f
-		g.best = st.Schedule()
-		g.bestMS = st.Makespan()
-		g.bestFT = st.Flowtime()
+		g.temp = g.cfg.InitialTempFactor * g.best.Fitness()
 	}
 }
 
 // breed produces one offspring into g.scratch from two selected parents
-// and returns its fitness.
+// (Propose into the scratch buffer, mutate in place) and returns its
+// fitness.
 func (g *gaState) breed(indices []int) float64 {
 	fitAt := func(i int) float64 { return g.fit[i] }
 	p1 := g.cfg.Selector.Select(indices, fitAt, g.r)
 	p2 := g.cfg.Selector.Select(indices, fitAt, g.r)
 	if g.r.Float64() < g.cfg.CrossoverProb {
-		g.cfg.Crossover.Cross(g.pop[p1].ScheduleView(), g.pop[p2].ScheduleView(), g.child, g.r)
-		g.scratch.SetSchedule(g.child)
+		g.cfg.Crossover.Cross(g.pop[p1].ScheduleView(), g.pop[p2].ScheduleView(), g.scratch.Buf, g.r)
+		g.scratch.St.SetSchedule(g.scratch.Buf)
 	} else {
-		g.scratch.CopyFrom(g.pop[p1])
+		g.scratch.St.CopyFrom(g.pop[p1])
 	}
 	if g.r.Float64() < g.cfg.MutationProb {
-		g.cfg.Mutator.Mutate(g.scratch, g.r)
+		g.cfg.Mutator.Mutate(g.scratch.St, g.r)
 	}
 	g.evals++
-	return g.cfg.Objective.Of(g.scratch)
+	return g.cfg.Objective.Of(g.scratch.St)
 }
 
 func (g *gaState) run(budget run.Budget, obs run.Observer) run.Result {
@@ -287,9 +281,9 @@ func (g *gaState) run(budget run.Budget, obs run.Observer) run.Result {
 			obs(run.Progress{
 				Elapsed:   time.Since(start),
 				Iteration: iter,
-				Fitness:   g.bestFit,
-				Makespan:  g.bestMS,
-				Flowtime:  g.bestFT,
+				Fitness:   g.best.Fitness(),
+				Makespan:  g.best.Makespan(),
+				Flowtime:  g.best.Flowtime(),
 			})
 		}
 	}
@@ -309,10 +303,10 @@ func (g *gaState) run(budget run.Budget, obs run.Observer) run.Result {
 		emit()
 	}
 	return run.Result{
-		Best:       g.best,
-		Fitness:    g.bestFit,
-		Makespan:   g.bestMS,
-		Flowtime:   g.bestFT,
+		Best:       g.best.Schedule(),
+		Fitness:    g.best.Fitness(),
+		Makespan:   g.best.Makespan(),
+		Flowtime:   g.best.Flowtime(),
 		Iterations: iter,
 		Evals:      g.evals,
 		Elapsed:    time.Since(start),
@@ -321,10 +315,17 @@ func (g *gaState) run(budget run.Budget, obs run.Observer) run.Result {
 }
 
 // generation performs one full generational replacement (Braun variant).
+// The two populations are double-buffered: offspring are copied into the
+// standby population, which is then swapped in — no per-offspring clone.
 func (g *gaState) generation(indices []int) {
 	n := g.cfg.PopSize
-	newPop := make([]*schedule.State, n)
-	newFit := make([]float64, n)
+	if g.next == nil {
+		g.next = make([]*schedule.State, n)
+		g.nextFit = make([]float64, n)
+		for i := range g.next {
+			g.next[i] = schedule.NewState(g.in, g.pop[i].ScheduleView())
+		}
+	}
 	startIdx := 0
 	if g.cfg.Elitism {
 		// Carry over the best current individual unchanged.
@@ -334,17 +335,18 @@ func (g *gaState) generation(indices []int) {
 				bi = i
 			}
 		}
-		newPop[0] = g.pop[bi].Clone()
-		newFit[0] = g.fit[bi]
+		g.next[0].CopyFrom(g.pop[bi])
+		g.nextFit[0] = g.fit[bi]
 		startIdx = 1
 	}
 	for i := startIdx; i < n; i++ {
 		f := g.breed(indices)
-		newPop[i] = g.scratch.Clone()
-		newFit[i] = f
-		g.noteIfBest(newPop[i], f)
+		g.next[i].CopyFrom(g.scratch.St)
+		g.nextFit[i] = f
+		g.best.Note(g.next[i], f)
 	}
-	g.pop, g.fit = newPop, newFit
+	g.pop, g.next = g.next, g.pop
+	g.fit, g.nextFit = g.nextFit, g.fit
 }
 
 // steadyStep breeds one offspring and inserts it with the variant's
@@ -366,7 +368,7 @@ func (g *gaState) steadyStep(indices []int) {
 		}
 	case Struggle:
 		// Replace the most similar individual if the child improves on it.
-		child := g.scratch.ScheduleView()
+		child := g.scratch.St.ScheduleView()
 		closest, bestD := 0, g.in.Jobs+1
 		for i := 0; i < g.cfg.PopSize; i++ {
 			if d := child.Hamming(g.pop[i].ScheduleView()); d < bestD {
@@ -391,8 +393,8 @@ func (g *gaState) steadyStep(indices []int) {
 		panic(fmt.Sprintf("ga: steadyStep on variant %v", g.cfg.Variant))
 	}
 	if victim >= 0 {
-		g.pop[victim].CopyFrom(g.scratch)
+		g.pop[victim].CopyFrom(g.scratch.St)
 		g.fit[victim] = f
-		g.noteIfBest(g.scratch, f)
+		g.best.Note(g.scratch.St, f)
 	}
 }

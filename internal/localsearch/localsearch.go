@@ -127,7 +127,7 @@ type LMCTS struct{}
 // Improve implements Method.
 func (LMCTS) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
 	for k := 0; k < iters; k++ {
-		if !bestCriticalSwap(st, o, nil) {
+		if !bestCriticalSwap(st, o, 0, nil) {
 			return // local optimum for this neighborhood
 		}
 	}
@@ -151,13 +151,7 @@ func (s SampledLMCTS) Improve(st *schedule.State, o schedule.Objective, iters in
 		n = 64
 	}
 	for k := 0; k < iters; k++ {
-		if !bestCriticalSwap(st, o, func(in int) []int {
-			out := make([]int, n)
-			for i := range out {
-				out[i] = r.Intn(in)
-			}
-			return out
-		}) {
+		if !bestCriticalSwap(st, o, n, r) {
 			return
 		}
 	}
@@ -167,10 +161,11 @@ func (s SampledLMCTS) Improve(st *schedule.State, o schedule.Objective, iters in
 func (s SampledLMCTS) Name() string { return "LMCTS-sampled" }
 
 // bestCriticalSwap performs one steepest swap step between the critical
-// machine and the rest. partnerSampler, when non-nil, returns the candidate
-// partner jobs given nb_jobs; nil means all jobs. Returns whether a swap
-// was applied.
-func bestCriticalSwap(st *schedule.State, o schedule.Objective, partnerSampler func(int) []int) bool {
+// machine and the rest. samples > 0 examines that many random partner jobs
+// per critical job (drawn from r, one at a time, so sampling allocates
+// nothing); samples == 0 scans all jobs. Returns whether a swap was
+// applied.
+func bestCriticalSwap(st *schedule.State, o schedule.Objective, samples int, r *rng.Source) bool {
 	in := st.Instance()
 	crit := st.MakespanMachine()
 	critJobs := st.JobsOn(crit)
@@ -190,7 +185,7 @@ func bestCriticalSwap(st *schedule.State, o schedule.Objective, partnerSampler f
 		}
 	}
 
-	if partnerSampler == nil {
+	if samples <= 0 {
 		for _, a := range critJobs {
 			for b := 0; b < in.Jobs; b++ {
 				if st.Assign(b) == crit {
@@ -201,7 +196,8 @@ func bestCriticalSwap(st *schedule.State, o schedule.Objective, partnerSampler f
 		}
 	} else {
 		for _, a := range critJobs {
-			for _, b := range partnerSampler(in.Jobs) {
+			for k := 0; k < samples; k++ {
+				b := r.Intn(in.Jobs)
 				if st.Assign(b) == crit {
 					continue
 				}

@@ -2,7 +2,6 @@ package operators
 
 import (
 	"fmt"
-	"sort"
 
 	"gridcma/internal/rng"
 	"gridcma/internal/schedule"
@@ -54,53 +53,54 @@ type Rebalance struct {
 // DefaultRebalance is the paper's configuration.
 var DefaultRebalance = Rebalance{LessLoadedFraction: 0.25}
 
-// Mutate implements Mutator.
+// Mutate implements Mutator. It allocates nothing: the source machine is
+// reservoir-sampled and the target found by partial selection, since this
+// runs once per mutation update inside every engine's hot loop.
 func (rb Rebalance) Mutate(st *schedule.State, r *rng.Source) {
 	in := st.Instance()
 	makespan := st.Makespan()
 	if makespan == 0 {
 		return
 	}
-	// Overloaded machines: load factor 1 within float tolerance.
-	var overloaded []int
+	// Uniformly pick an overloaded machine (load factor 1 within float
+	// tolerance) that actually has jobs.
+	src, seen := -1, 0
 	for m := 0; m < in.Machs; m++ {
-		if st.Completion(m) >= makespan*(1-1e-12) {
-			overloaded = append(overloaded, m)
-		}
-	}
-	// Pick a random overloaded machine that actually has jobs.
-	r.Shuffle(len(overloaded), func(i, j int) {
-		overloaded[i], overloaded[j] = overloaded[j], overloaded[i]
-	})
-	src := -1
-	for _, m := range overloaded {
-		if len(st.JobsOn(m)) > 0 {
-			src = m
-			break
+		if st.Completion(m) >= makespan*(1-1e-12) && len(st.JobsOn(m)) > 0 {
+			seen++
+			if r.Intn(seen) == 0 {
+				src = m
+			}
 		}
 	}
 	if src < 0 {
 		return // all load is ready-time; nothing to transfer
 	}
 
-	// Less loaded targets: first fraction of machines by completion time.
-	order := make([]int, in.Machs)
-	for m := range order {
-		order[m] = m
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := st.Completion(order[a]), st.Completion(order[b])
-		if ca != cb {
-			return ca < cb
-		}
-		return order[a] < order[b]
-	})
+	// Less loaded targets: the first fraction of machines in ascending
+	// (completion, id) order. Draw a rank and select that order statistic
+	// by repeated minimum scans — machine counts are small.
 	k := int(rb.fraction() * float64(in.Machs))
 	if k < 1 {
 		k = 1
 	}
-	targets := order[:k]
-	dst := targets[r.Intn(len(targets))]
+	idx := r.Intn(k)
+	dst := -1
+	prevC, prevM := 0.0, -1
+	for n := 0; n <= idx; n++ {
+		best := -1
+		for m := 0; m < in.Machs; m++ {
+			c := st.Completion(m)
+			if prevM >= 0 && (c < prevC || (c == prevC && m <= prevM)) {
+				continue // ranked earlier
+			}
+			if best < 0 || c < st.Completion(best) {
+				best = m
+			}
+		}
+		prevC, prevM = st.Completion(best), best
+		dst = best
+	}
 	if dst == src {
 		return
 	}

@@ -36,6 +36,14 @@ func splitmix64(x *uint64) uint64 {
 // streams; the same seed always yields the same sequence.
 func New(seed uint64) *Source {
 	var r Source
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets r to the state New(seed) would produce, without
+// allocating — hot paths that derive one stream per work item reuse a
+// Source value instead of constructing one.
+func (r *Source) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&x)
@@ -45,7 +53,6 @@ func New(seed uint64) *Source {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -1,0 +1,172 @@
+package run_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gridcma/internal/cma"
+	"gridcma/internal/etc"
+	"gridcma/internal/localsearch"
+	"gridcma/internal/run"
+	"gridcma/internal/schedule"
+)
+
+func TestBudgetBounded(t *testing.T) {
+	deadlineCtx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	cases := []struct {
+		name string
+		b    run.Budget
+		want bool
+	}{
+		{"zero", run.Budget{}, false},
+		{"time", run.Budget{MaxTime: time.Second}, true},
+		{"iterations", run.Budget{MaxIterations: 1}, true},
+		{"both", run.Budget{MaxTime: time.Second, MaxIterations: 5}, true},
+		{"plain context", run.Budget{}.WithContext(context.Background()), false},
+		{"context with deadline", run.Budget{}.WithContext(deadlineCtx), true},
+	}
+	for _, c := range cases {
+		if got := c.b.Bounded(); got != c.want {
+			t.Errorf("%s: Bounded() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBudgetDoneIterationAndTimeBounds(t *testing.T) {
+	start := time.Now()
+	b := run.Budget{MaxIterations: 3}
+	if b.Done(2, start) {
+		t.Error("done before the iteration bound")
+	}
+	if !b.Done(3, start) {
+		t.Error("not done at the iteration bound")
+	}
+	tb := run.Budget{MaxTime: time.Nanosecond}
+	time.Sleep(time.Millisecond)
+	if !tb.Done(0, start) {
+		t.Error("not done past the time bound")
+	}
+	if (run.Budget{MaxTime: time.Hour}).Done(0, start) {
+		t.Error("done long before the time bound")
+	}
+}
+
+func TestBudgetWithContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := run.Budget{MaxIterations: 1000}.WithContext(ctx)
+	if b.Cancelled() {
+		t.Fatal("cancelled before cancel")
+	}
+	if b.Done(0, time.Now()) {
+		t.Fatal("done before cancel")
+	}
+	cancel()
+	if !b.Cancelled() {
+		t.Fatal("not cancelled after cancel")
+	}
+	if !b.Done(0, time.Now()) {
+		t.Fatal("not done after cancel")
+	}
+	// A budget without a context never reports cancellation.
+	if (run.Budget{MaxIterations: 1}).Cancelled() {
+		t.Fatal("context-less budget cancelled")
+	}
+}
+
+func TestBudgetContextDefaultsToBackground(t *testing.T) {
+	if (run.Budget{}).Context() != context.Background() {
+		t.Fatal("context-less budget must return Background")
+	}
+	ctx := context.WithValue(context.Background(), testKey{}, 1)
+	if run.Budget.WithContext(run.Budget{}, ctx).Context() != ctx {
+		t.Fatal("attached context not returned")
+	}
+}
+
+type testKey struct{}
+
+func TestResultBetter(t *testing.T) {
+	empty := run.Result{}
+	a := run.Result{Best: schedule.Schedule{0}, Fitness: 1}
+	b := run.Result{Best: schedule.Schedule{0}, Fitness: 2}
+	if empty.Better(a) {
+		t.Error("empty result beats a real one")
+	}
+	if !a.Better(empty) {
+		t.Error("real result does not beat empty")
+	}
+	if !a.Better(b) || b.Better(a) {
+		t.Error("lower fitness must win")
+	}
+}
+
+// quickEngine returns a small cMA for observer/cancellation plumbing
+// tests through a real engine loop.
+func quickEngine(t *testing.T) (*cma.Scheduler, *etc.Instance) {
+	t.Helper()
+	cfg := cma.DefaultConfig()
+	cfg.LSIterations = 1
+	cfg.LocalSearch = localsearch.SampledLMCTS{Samples: 8}
+	s, err := cma.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := etc.Generate(etc.Class{Consistency: etc.Consistent, JobHet: etc.Low, MachineHet: etc.Low},
+		0, etc.GenerateOptions{Seed: 5, Jobs: 64, Machs: 4})
+	return s, in
+}
+
+// Observers must see the initial sample plus one per iteration, with
+// non-decreasing elapsed time and iteration counters.
+func TestObserverPlumbing(t *testing.T) {
+	s, in := quickEngine(t)
+	var samples []run.Progress
+	res := s.Run(in, run.Budget{MaxIterations: 7}, 3, func(p run.Progress) {
+		samples = append(samples, p)
+	})
+	if len(samples) != 8 {
+		t.Fatalf("got %d progress samples, want 8 (initial + 7 iterations)", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Iteration != samples[i-1].Iteration+1 {
+			t.Fatalf("iteration jumped: %d -> %d", samples[i-1].Iteration, samples[i].Iteration)
+		}
+		if samples[i].Elapsed < samples[i-1].Elapsed {
+			t.Fatalf("elapsed went backwards at %d", i)
+		}
+		if samples[i].Fitness > samples[i-1].Fitness+1e-9 {
+			t.Fatalf("best fitness regressed at %d", i)
+		}
+	}
+	if last := samples[len(samples)-1]; last.Fitness != res.Fitness {
+		t.Fatalf("final sample fitness %v != result %v", last.Fitness, res.Fitness)
+	}
+	// A nil observer must be legal.
+	s.Run(in, run.Budget{MaxIterations: 1}, 3, nil)
+}
+
+// A cancelled budget context must stop an engine run mid-flight and still
+// leave a usable best-so-far result.
+func TestBudgetCancellationStopsEngine(t *testing.T) {
+	s, in := quickEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	iterations := 0
+	b := run.Budget{MaxIterations: 1_000_000}.WithContext(ctx)
+	res := s.Run(in, b, 1, func(p run.Progress) {
+		iterations = p.Iteration
+		if p.Iteration >= 3 {
+			cancel()
+		}
+	})
+	if iterations >= 1_000_000 {
+		t.Fatal("run was not cancelled")
+	}
+	if res.Best == nil {
+		t.Fatal("cancelled run lost its best-so-far schedule")
+	}
+	if err := res.Best.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}

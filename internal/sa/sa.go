@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gridcma/internal/etc"
+	"gridcma/internal/evalpool"
 	"gridcma/internal/heuristics"
 	"gridcma/internal/rng"
 	"gridcma/internal/run"
@@ -96,8 +97,8 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 	cur := schedule.NewState(in, init)
 	o := s.cfg.Objective
 	curFit := o.Of(cur)
-	best := cur.Schedule()
-	bestFit, bestMS, bestFT := curFit, cur.Makespan(), cur.Flowtime()
+	var best evalpool.Best
+	best.Note(cur, curFit)
 	temp := s.cfg.InitialTempFactor * curFit
 	sweep := s.cfg.SweepLength
 	if sweep == 0 {
@@ -110,7 +111,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 	emit := func() {
 		if obs != nil {
 			obs(run.Progress{Elapsed: time.Since(start), Iteration: iter,
-				Fitness: bestFit, Makespan: bestMS, Flowtime: bestFT})
+				Fitness: best.Fitness(), Makespan: best.Makespan(), Flowtime: best.Flowtime()})
 		}
 	}
 	emit()
@@ -131,10 +132,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 			}
 			if accept {
 				curFit = f
-				if f < bestFit {
-					bestFit, bestMS, bestFT = f, cur.Makespan(), cur.Flowtime()
-					best = cur.Schedule()
-				}
+				best.Note(cur, f)
 			} else {
 				cur.Move(j, from)
 			}
@@ -144,7 +142,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 		emit()
 	}
 	return run.Result{
-		Best: best, Fitness: bestFit, Makespan: bestMS, Flowtime: bestFT,
+		Best: best.Schedule(), Fitness: best.Fitness(), Makespan: best.Makespan(), Flowtime: best.Flowtime(),
 		Iterations: iter, Evals: evals, Elapsed: time.Since(start), Algorithm: "SA",
 	}
 }

@@ -3,7 +3,7 @@ package schedule
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"gridcma/internal/etc"
 )
@@ -23,6 +23,7 @@ type State struct {
 	inst       *etc.Instance
 	assign     Schedule
 	machJobs   [][]int32 // per machine, job ids sorted by (ETC, id)
+	slot       []int32   // slot[j] = index of job j within machJobs[assign[j]]
 	completion []float64
 	machFlow   []float64
 	flowtime   float64
@@ -38,8 +39,34 @@ func NewState(in *etc.Instance, s Schedule) *State {
 		inst:       in,
 		assign:     s.Clone(),
 		machJobs:   make([][]int32, in.Machs),
+		slot:       make([]int32, in.Jobs),
 		completion: make([]float64, in.Machs),
 		machFlow:   make([]float64, in.Machs),
+	}
+	// Carve the per-machine lists out of one backing array, so
+	// construction costs one allocation instead of one growth chain per
+	// machine. Each region gets twice the balanced share as headroom
+	// (CopyFrom and Move then rarely need to grow a list), or the exact
+	// initial count when that is larger. Three-index slicing caps every
+	// list at its region; a machine that outgrows it reallocates on its
+	// own.
+	counts := make([]int, in.Machs)
+	for _, m := range st.assign {
+		counts[m]++
+	}
+	slack := 2*in.Jobs/in.Machs + 8
+	total := 0
+	for m, c := range counts {
+		if c < slack {
+			counts[m] = slack
+		}
+		total += counts[m]
+	}
+	backing := make([]int32, total)
+	off := 0
+	for m := range st.machJobs {
+		st.machJobs[m] = backing[off : off : off+counts[m]]
+		off += counts[m]
 	}
 	st.rebuild()
 	return st
@@ -56,7 +83,20 @@ func (st *State) rebuild() {
 	st.flowtime = 0
 	for m := range st.machJobs {
 		jobs := st.machJobs[m]
-		sort.Slice(jobs, func(a, b int) bool { return st.less(jobs[a], jobs[b], m) })
+		slices.SortFunc(jobs, func(a, b int32) int {
+			ea, eb := st.inst.At(int(a), m), st.inst.At(int(b), m)
+			switch {
+			case ea < eb:
+				return -1
+			case ea > eb:
+				return 1
+			default:
+				return int(a - b)
+			}
+		})
+		for k, j := range jobs {
+			st.slot[j] = int32(k)
+		}
 		st.refreshMachine(m)
 		st.flowtime += st.machFlow[m]
 	}
@@ -138,25 +178,44 @@ func (st *State) MeanFlowtime() float64 {
 	return st.flowtime / float64(st.inst.Machs)
 }
 
-// remove deletes job j from machine m's list; the caller refreshes.
+// remove deletes job j from machine m's list; the caller refreshes. The
+// job's index is read from the slot table in O(1) instead of scanning the
+// list; only the slots of the jobs shifted down need repair.
 func (st *State) remove(j int, m int) {
 	jobs := st.machJobs[m]
-	for i, x := range jobs {
-		if x == int32(j) {
-			st.machJobs[m] = append(jobs[:i], jobs[i+1:]...)
-			return
-		}
+	k := int(st.slot[j])
+	if k >= len(jobs) || jobs[k] != int32(j) {
+		panic(fmt.Sprintf("schedule: job %d not on machine %d", j, m))
 	}
-	panic(fmt.Sprintf("schedule: job %d not on machine %d", j, m))
+	for ; k < len(jobs)-1; k++ {
+		v := jobs[k+1]
+		jobs[k] = v
+		st.slot[v] = int32(k)
+	}
+	st.machJobs[m] = jobs[:len(jobs)-1]
 }
 
-// insert places job j into machine m's list keeping SPT order.
+// insert places job j into machine m's list keeping SPT order. The
+// position is found by binary search over the (ETC, id) order.
 func (st *State) insert(j int, m int) {
 	jobs := st.machJobs[m]
-	pos := sort.Search(len(jobs), func(i int) bool { return !st.less(jobs[i], int32(j), m) })
+	lo, hi := 0, len(jobs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.less(jobs[mid], int32(j), m) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	jobs = append(jobs, 0)
-	copy(jobs[pos+1:], jobs[pos:])
-	jobs[pos] = int32(j)
+	for i := len(jobs) - 1; i > lo; i-- {
+		v := jobs[i-1]
+		jobs[i] = v
+		st.slot[v] = int32(i)
+	}
+	jobs[lo] = int32(j)
+	st.slot[j] = int32(lo)
 	st.machJobs[m] = jobs
 }
 
@@ -233,6 +292,7 @@ func (st *State) Clone() *State {
 		inst:       st.inst,
 		assign:     st.assign.Clone(),
 		machJobs:   make([][]int32, len(st.machJobs)),
+		slot:       append([]int32(nil), st.slot...),
 		completion: append([]float64(nil), st.completion...),
 		machFlow:   append([]float64(nil), st.machFlow...),
 		flowtime:   st.flowtime,
@@ -249,6 +309,7 @@ func (st *State) CopyFrom(src *State) {
 		panic("schedule: CopyFrom across instances")
 	}
 	st.assign.CopyFrom(src.assign)
+	copy(st.slot, src.slot)
 	copy(st.completion, src.completion)
 	copy(st.machFlow, src.machFlow)
 	st.flowtime = src.flowtime

@@ -1,0 +1,55 @@
+package schedule
+
+import (
+	"testing"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/rng"
+)
+
+// benchState builds a random evaluated state of the given shape.
+func benchState(b *testing.B, jobs, machs int) (*State, *rng.Source) {
+	b.Helper()
+	in := etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+		0, etc.GenerateOptions{Seed: 1, Jobs: jobs, Machs: machs})
+	r := rng.New(7)
+	return NewState(in, NewRandom(in, r)), r
+}
+
+// BenchmarkMoveLarge measures the incremental single-job reassignment on a
+// large CVB-scale instance, where per-machine job lists are long enough for
+// the remove/insert bookkeeping to dominate.
+func BenchmarkMoveLarge(b *testing.B) {
+	st, r := benchState(b, 2048, 64)
+	in := st.Instance()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Move(r.Intn(in.Jobs), r.Intn(in.Machs))
+	}
+}
+
+// BenchmarkSwapLarge measures the two-job exchange primitive of LMCTS on a
+// large instance.
+func BenchmarkSwapLarge(b *testing.B) {
+	st, r := benchState(b, 2048, 64)
+	in := st.Instance()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Swap(r.Intn(in.Jobs), r.Intn(in.Jobs))
+	}
+}
+
+// BenchmarkSetSchedule measures the full re-evaluation path used when a
+// scratch evaluator is re-pointed at a crossover offspring.
+func BenchmarkSetSchedule(b *testing.B) {
+	st, r := benchState(b, 512, 16)
+	in := st.Instance()
+	other := NewRandom(in, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.SetSchedule(other)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gridcma/internal/etc"
+	"gridcma/internal/evalpool"
 	"gridcma/internal/heuristics"
 	"gridcma/internal/rng"
 	"gridcma/internal/run"
@@ -82,8 +83,8 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 	cur := schedule.NewState(in, init)
 	o := s.cfg.Objective
 	curFit := o.Of(cur)
-	best := cur.Schedule()
-	bestFit, bestMS, bestFT := curFit, cur.Makespan(), cur.Flowtime()
+	var best evalpool.Best
+	best.Note(cur, curFit)
 
 	tenure := s.cfg.Tenure
 	if tenure == 0 {
@@ -106,7 +107,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 	emit := func() {
 		if obs != nil {
 			obs(run.Progress{Elapsed: time.Since(start), Iteration: iter,
-				Fitness: bestFit, Makespan: bestMS, Flowtime: bestFT})
+				Fitness: best.Fitness(), Makespan: best.Makespan(), Flowtime: best.Flowtime()})
 		}
 	}
 	emit()
@@ -125,7 +126,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 			evals++
 			cur.Move(j, from)
 			tabu := tabuUntil[j*in.Machs+to] > iter
-			if tabu && f >= bestFit { // aspiration only on global improvement
+			if tabu && f >= best.Fitness() { // aspiration only on global improvement
 				continue
 			}
 			if bestJ < 0 || f < bestF {
@@ -138,16 +139,13 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 			curFit = bestF
 			// Forbid moving the job straight back.
 			tabuUntil[bestJ*in.Machs+from] = iter + tenure
-			if curFit < bestFit {
-				bestFit, bestMS, bestFT = curFit, cur.Makespan(), cur.Flowtime()
-				best = cur.Schedule()
-			}
+			best.Note(cur, curFit)
 		}
 		iter++
 		emit()
 	}
 	return run.Result{
-		Best: best, Fitness: bestFit, Makespan: bestMS, Flowtime: bestFT,
+		Best: best.Schedule(), Fitness: best.Fitness(), Makespan: best.Makespan(), Flowtime: best.Flowtime(),
 		Iterations: iter, Evals: evals, Elapsed: time.Since(start), Algorithm: "TabuSearch",
 	}
 }

@@ -102,14 +102,22 @@ func (w *withDefaults) Run(ctx context.Context, in *Instance, opts ...RunOption)
 	return w.Scheduler.Run(ctx, in, merged...)
 }
 
-// The built-in portfolio: the paper's cMA (asynchronous and synchronous),
-// the island model, the three baseline GAs, the GSA hybrid, simulated
-// annealing and tabu search. The registry entries delegate to the facade
+// The built-in portfolio: the paper's cMA (sequential asynchronous,
+// block-parallel asynchronous and synchronous), the island model, the
+// three baseline GAs, the GSA hybrid, simulated annealing and tabu
+// search. The registry entries delegate to the facade
 // constructors so each algorithm is configured in exactly one place; the
 // GA entries use the registry's kebab-case names rather than the
 // variants' display names.
 func init() {
 	Register("cma", func() (Scheduler, error) { return NewCMA(cma.DefaultConfig()) })
+	Register("cma-par", func() (Scheduler, error) {
+		// The block-parallel asynchronous engine at the paper's tuned
+		// configuration: deterministic in the seed for any worker count.
+		cfg := cma.DefaultConfig()
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		return NewCMA(cfg)
+	})
 	Register("cma-sync", func() (Scheduler, error) {
 		cfg := cma.DefaultConfig()
 		cfg.Synchronous = true

@@ -32,11 +32,13 @@ var ErrUnbounded = errors.New("gridcma: unbounded run: pass WithBudget/WithMaxTi
 
 // runSettings is the per-call state the RunOption set edits.
 type runSettings struct {
-	budget    Budget
-	seed      uint64
-	observer  Observer
-	lambda    float64
-	lambdaSet bool
+	budget     Budget
+	seed       uint64
+	observer   Observer
+	lambda     float64
+	lambdaSet  bool
+	workers    int
+	workersSet bool
 }
 
 func newRunSettings() runSettings { return runSettings{seed: 1} }
@@ -74,24 +76,51 @@ func WithLambda(lambda float64) RunOption {
 	return func(s *runSettings) { s.lambda, s.lambdaSet = lambda, true }
 }
 
+// WithWorkers sets the number of goroutines an engine may use to evaluate
+// offspring. For the cellular schedulers any n >= 1 selects the
+// partitioned parallel engine, whose results depend only on the seed —
+// never on n — so a run is reproducible across machines with different
+// core counts; n = 0 restores the engine's configured default. Engines
+// without a parallel evaluation path ignore the option.
+func WithWorkers(n int) RunOption {
+	return func(s *runSettings) {
+		if n == 0 {
+			// Restore the engine's configured default, undoing any earlier
+			// WithWorkers in the merged option list.
+			s.workers, s.workersSet = 0, false
+			return
+		}
+		s.workers, s.workersSet = n, true
+	}
+}
+
 // engineRunner is the internal positional contract every engine
 // implements; context rides inside the Budget.
 type engineRunner = runner.Scheduler
 
+// buildParams carries the construction-affecting Run options to an engine
+// builder: the λ override and the worker-count override.
+type buildParams struct {
+	lambdaSet  bool
+	lambda     float64
+	workersSet bool
+	workers    int
+}
+
 // engineScheduler adapts an internal engine to the public Scheduler
-// interface. build constructs the engine for a given λ override, so
-// WithLambda rewires the objective without the caller touching engine
-// configs. (Construction-time defaults are layered on by the registry's
-// withDefaults wrapper, not here.)
+// interface. build constructs the engine for the given option overrides,
+// so WithLambda and WithWorkers rewire the engine without the caller
+// touching engine configs. (Construction-time defaults are layered on by
+// the registry's withDefaults wrapper, not here.)
 type engineScheduler struct {
 	name  string
-	build func(lambdaSet bool, lambda float64) (engineRunner, error)
+	build func(buildParams) (engineRunner, error)
 }
 
 // newEngineScheduler validates the default construction eagerly so
 // configuration errors surface at New time, not at first Run.
-func newEngineScheduler(name string, build func(bool, float64) (engineRunner, error)) (Scheduler, error) {
-	if _, err := build(false, 0); err != nil {
+func newEngineScheduler(name string, build func(buildParams) (engineRunner, error)) (Scheduler, error) {
+	if _, err := build(buildParams{}); err != nil {
 		return nil, err
 	}
 	return &engineScheduler{name: name, build: build}, nil
@@ -112,6 +141,9 @@ func (s *engineScheduler) Run(ctx context.Context, in *Instance, opts ...RunOpti
 	}
 	if st.lambdaSet && (st.lambda < 0 || st.lambda > 1) {
 		return Result{}, fmt.Errorf("gridcma: %s: lambda %v outside [0,1]", s.name, st.lambda)
+	}
+	if st.workersSet && st.workers < 0 {
+		return Result{}, fmt.Errorf("gridcma: %s: negative workers %d", s.name, st.workers)
 	}
 	b := st.budget
 	if b.MaxTime < 0 || b.MaxIterations < 0 {
@@ -148,7 +180,10 @@ func (s *engineScheduler) Run(ctx context.Context, in *Instance, opts ...RunOpti
 			return Result{}, context.DeadlineExceeded
 		}
 	}
-	eng, err := s.build(st.lambdaSet, st.lambda)
+	eng, err := s.build(buildParams{
+		lambdaSet: st.lambdaSet, lambda: st.lambda,
+		workersSet: st.workersSet, workers: st.workers,
+	})
 	if err != nil {
 		return Result{}, err
 	}
