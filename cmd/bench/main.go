@@ -31,6 +31,8 @@ import (
 	"gridcma"
 	"gridcma/internal/etc"
 	"gridcma/internal/localsearch"
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
 )
 
 // Row is one measured engine run.
@@ -57,6 +59,10 @@ type Row struct {
 	// workers=1 schedule — the determinism contract, re-verified on every
 	// bench run.
 	IdenticalTo1 bool `json:"identical_to_1,omitempty"`
+	// ProbeSpeedup, on the probe-move row, is wall-clock(scratch) /
+	// wall-clock(probe): how many times the speculative probe beats the
+	// apply+revert evaluation of the same candidates.
+	ProbeSpeedup float64 `json:"probe_speedup,omitempty"`
 }
 
 // Report is the BENCH_*.json schema.
@@ -143,6 +149,11 @@ func main() {
 		// Synchronous engine at the widest rung.
 		syncRow, _ := measure(spec, "cma-sync", ladder[len(ladder)-1], gw, gh, iterations, *seed)
 		rep.Rows = append(rep.Rows, syncRow)
+
+		// Probe vs scratch micro rows: the same random candidate moves,
+		// evaluated once through the speculative probe and once through
+		// apply+revert.
+		rep.Rows = append(rep.Rows, measureProbes(spec, *seed, *quick)...)
 	}
 
 	path := filepath.Join(*out, "BENCH_"+*label+".json")
@@ -212,6 +223,63 @@ func measure(spec instanceSpec, alg string, workers, gw, gh, iterations int, see
 	fmt.Printf("  %-8s workers=%-2d %8.3fs  makespan %12.1f  evals/s %8.1f  allocs %d\n",
 		row.Algorithm, workers, row.Seconds, row.Makespan, row.EvalsPerSec, row.Allocs)
 	return row, res.Best
+}
+
+// measureProbes times the speculative probe path against the historical
+// apply+revert path on the same sequence of random candidate moves, and
+// emits one row per path. The probe row's ProbeSpeedup column is the
+// headline number of the incremental objective engine.
+func measureProbes(spec instanceSpec, seed uint64, quick bool) []Row {
+	ops := 200000
+	if quick {
+		ops = 20000
+	}
+	o := schedule.DefaultObjective
+	run := func(probe bool) (Row, float64) {
+		r := rng.New(seed)
+		st := schedule.NewState(spec.in, schedule.NewRandom(spec.in, r))
+		alg := "scratch-move"
+		if probe {
+			alg = "probe-move"
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		var sink float64
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			j, to := r.Intn(spec.in.Jobs), r.Intn(spec.in.Machs)
+			if probe {
+				sink += st.FitnessAfterMove(o, j, to)
+			} else {
+				from := st.Assign(j)
+				st.Move(j, to)
+				sink += o.Of(st)
+				st.Move(j, from)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		row := Row{
+			Instance: spec.name, Jobs: spec.jobs, Machs: spec.machs,
+			Algorithm: alg, Seconds: elapsed.Seconds(), Evals: int64(ops),
+			Allocs: after.Mallocs - before.Mallocs, AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		}
+		if elapsed > 0 {
+			row.EvalsPerSec = float64(ops) / elapsed.Seconds()
+		}
+		_ = sink
+		return row, elapsed.Seconds()
+	}
+	scratchRow, scratchSec := run(false)
+	probeRow, probeSec := run(true)
+	if probeSec > 0 {
+		probeRow.ProbeSpeedup = scratchSec / probeSec
+	}
+	fmt.Printf("  %-12s %8.3fs  evals/s %10.1f\n", scratchRow.Algorithm, scratchRow.Seconds, scratchRow.EvalsPerSec)
+	fmt.Printf("  %-12s %8.3fs  evals/s %10.1f  speedup %.2fx  allocs %d\n",
+		probeRow.Algorithm, probeRow.Seconds, probeRow.EvalsPerSec, probeRow.ProbeSpeedup, probeRow.Allocs)
+	return []Row{scratchRow, probeRow}
 }
 
 func buildInstances(quick bool) ([]instanceSpec, error) {

@@ -63,6 +63,28 @@
 // returns its best-so-far schedule together with ctx.Err(). A run with no
 // budget option and no context deadline fails with ErrUnbounded.
 //
+// # Evaluation: scratch, incremental and probe
+//
+// The evaluation layer (internal/schedule) works at three temperatures.
+// Scratch evaluation (Objective.Evaluate, NewState, State.SetSchedule)
+// rebuilds everything from a genotype — the entry point for crossover
+// offspring and external schedules. Incremental evaluation (State.Move,
+// State.Swap) maintains per-machine completions, flowtime and an indexed
+// tournament tree over the completions, making Makespan, MakespanMachine
+// and the scalarised fitness O(1) reads with O(log M) maintenance —
+// every committed search step uses it. Probe evaluation
+// (State.FitnessAfterMove, State.FitnessAfterSwap) returns the exact
+// fitness a hypothetical move or swap would produce, allocation-free and
+// without mutating the state, bit-identical to applying the move,
+// evaluating and reverting. The local searches (LM, SLM, LMCTS), SA and
+// tabu search all score candidates with probes and commit only accepted
+// steps, which is why their hot loops allocate nothing and run several
+// times faster than the historical apply+revert formulation.
+//
+// MakespanMachine ties break toward the lowest machine index — a
+// documented contract (LMCTS derives its critical machine from it),
+// pinned by a regression test.
+//
 // # Batch execution and portfolio racing
 //
 // RunBatch fans instances × algorithms × seeds over a worker pool with

@@ -1,0 +1,178 @@
+package gridcma_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"gridcma"
+	"gridcma/internal/cma"
+	"gridcma/internal/localsearch"
+	"gridcma/internal/run"
+)
+
+// -update regenerates testdata/golden.json from the current code. The
+// committed file pins the exact schedules every registered algorithm (and
+// every local-search method) produces, so evaluation-path rewrites — like
+// the probe-then-commit engine — are provably behavior-preserving.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json")
+
+type goldenCase struct {
+	Name     string           `json:"name"`
+	Schedule gridcma.Schedule `json:"schedule"`
+	Makespan float64          `json:"makespan"`
+	Flowtime float64          `json:"flowtime"`
+	Fitness  float64          `json:"fitness"`
+}
+
+// goldenRuns executes the full golden matrix: every registered algorithm
+// on a generated 96×8 instance and the 512×16 benchmark instance, the
+// block-parallel cMA at several worker counts, and the sequential cMA
+// under each local-search method.
+func goldenRuns(t *testing.T) []goldenCase {
+	t.Helper()
+	small := gridcma.GenerateInstance(gridcma.InstanceClass{}, 96, 8, 7)
+	bench, err := gridcma.BenchmarkInstance("u_c_hihi.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []goldenCase
+	note := func(name string, res gridcma.Result) {
+		cases = append(cases, goldenCase{
+			Name:     name,
+			Schedule: res.Best,
+			Makespan: res.Makespan,
+			Flowtime: res.Flowtime,
+			Fitness:  res.Fitness,
+		})
+	}
+
+	type instSpec struct {
+		name  string
+		in    *gridcma.Instance
+		iters int
+		seeds []uint64
+	}
+	instances := []instSpec{
+		{"96x8", small, 3, []uint64{1, 7}},
+		{"u_c_hihi.0", bench, 2, []uint64{1}},
+	}
+	for _, alg := range gridcma.Algorithms() {
+		for _, spec := range instances {
+			for _, seed := range spec.seeds {
+				s, err := gridcma.New(alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(context.Background(), spec.in,
+					gridcma.WithMaxIterations(spec.iters), gridcma.WithSeed(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				note(alg+"/"+spec.name+"/seed"+strconv.FormatUint(seed, 10), res)
+			}
+		}
+	}
+
+	// Block-parallel engine across worker counts (the determinism
+	// contract rides along in the golden file).
+	for _, workers := range []int{1, 2, 8} {
+		s, err := gridcma.New("cma-par")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background(), small,
+			gridcma.WithMaxIterations(4), gridcma.WithSeed(3), gridcma.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		note("cma-par/96x8/seed3/w"+strconv.Itoa(workers), res)
+	}
+
+	// Every local-search method through the sequential cMA, so the LM /
+	// SLM / LMCTS / sampled / VND neighborhoods are all pinned.
+	for _, ls := range []string{"LM", "SLM", "LMCTS", "LMCTS-sampled", "VND"} {
+		m, err := localsearch.ByName(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cma.DefaultConfig()
+		cfg.LocalSearch = m
+		sched, err := cma.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// run.Result and the public Result are the same type, so the
+		// internal engine's output notes directly.
+		res := sched.Run(small, run.Budget{MaxIterations: 3}, 5, nil)
+		note("cma-ls-"+ls+"/96x8/seed5", res)
+	}
+	return cases
+}
+
+// TestGoldenSchedules locks the exact output of every engine. Schedules
+// and makespans must match bit-for-bit; fitness and flowtime allow a
+// relative slack of 1e-12 (the best-tracker records them from a running
+// floating-point accumulator whose last-ulp history is not part of the
+// behavioral contract).
+func TestGoldenSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix is minutes of engine time under -race")
+	}
+	path := filepath.Join("testdata", "golden.json")
+	got := goldenRuns(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", path, len(got))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d cases, run produced %d (regenerate with -update)", len(want), len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if w.Name != g.Name {
+			t.Fatalf("case %d: name %q vs golden %q", i, g.Name, w.Name)
+		}
+		if !w.Schedule.Equal(g.Schedule) {
+			t.Errorf("%s: schedule diverged from golden", w.Name)
+			continue
+		}
+		if w.Makespan != g.Makespan {
+			t.Errorf("%s: makespan %v, golden %v", w.Name, g.Makespan, w.Makespan)
+		}
+		if !closeRel(w.Fitness, g.Fitness) || !closeRel(w.Flowtime, g.Flowtime) {
+			t.Errorf("%s: fitness/flowtime (%v, %v), golden (%v, %v)",
+				w.Name, g.Fitness, g.Flowtime, w.Fitness, w.Flowtime)
+		}
+	}
+}
+
+func closeRel(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}

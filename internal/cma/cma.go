@@ -30,6 +30,7 @@ package cma
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"gridcma/internal/cell"
@@ -174,10 +175,25 @@ func (s *Scheduler) Name() string {
 // Run executes the cMA on instance in with the given budget and RNG seed,
 // reporting progress to obs (which may be nil).
 func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer) run.Result {
+	return s.RunPooled(in, budget, seed, obs, nil)
+}
+
+// RunPooled is Run with a caller-supplied scratch pool (it implements
+// runner.PooledScheduler). The engine draws its offspring workspaces
+// from pool and returns them when the run finishes, so consecutive runs
+// on one instance — a batch sweep, a seed ladder — reuse the same
+// scratch States instead of rebuilding them. A nil pool, or one bound to
+// a different instance, falls back to a private pool. Sharing never
+// affects results: scratches are always re-pointed (SetSchedule /
+// CopyFrom) before being read.
+func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer, pool *evalpool.Pool) run.Result {
 	if !budget.Bounded() {
 		panic("cma: unbounded budget")
 	}
-	e := newEngine(in, s.cfg, seed, nil, budget)
+	if pool != nil && pool.Instance() != in {
+		pool = nil
+	}
+	e := newEngine(in, s.cfg, seed, nil, budget, pool)
 	return e.run(budget, obs, s.Name())
 }
 
@@ -191,7 +207,7 @@ func (s *Scheduler) RunWithPopulation(in *etc.Instance, budget run.Budget, seed 
 	if !budget.Bounded() {
 		panic("cma: unbounded budget")
 	}
-	e := newEngine(in, s.cfg, seed, initial, budget)
+	e := newEngine(in, s.cfg, seed, initial, budget, nil)
 	res := e.run(budget, obs, s.Name())
 	final := make([]schedule.Schedule, len(e.pop))
 	for i, st := range e.pop {
@@ -239,12 +255,21 @@ type engine struct {
 	waves     [][]int
 	frozenFit []float64
 
+	// persistent worker pool (par.go): started lazily at the first
+	// parallel batch, stopped when run returns
+	tasks    chan int
+	taskWG   sync.WaitGroup
+	taskExec func(int)
+
 	// best-ever (the population best is monotone under add-if-better,
 	// but we track explicitly to also support AddOnlyIfBetter=false).
 	best evalpool.Best
 }
 
-func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Schedule, budget run.Budget) *engine {
+func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Schedule, budget run.Budget, pool *evalpool.Pool) *engine {
+	if pool == nil {
+		pool = evalpool.New(in)
+	}
 	e := &engine{
 		in:     in,
 		cfg:    cfg,
@@ -252,7 +277,7 @@ func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Sch
 		seed:   seed,
 		grid:   cell.NewGrid(cfg.Width, cfg.Height),
 		budget: budget,
-		pool:   evalpool.New(in),
+		pool:   pool,
 	}
 	e.nb = cell.NewNeighborhood(e.grid, cfg.Pattern)
 	n := e.grid.Size()
@@ -348,7 +373,21 @@ func (e *engine) refreshBest() {
 	}
 }
 
+// releaseScratches returns every checked-out workspace to the pool, so a
+// shared pool (RunPooled) hands them to the next run on the instance.
+func (e *engine) releaseScratches() {
+	e.pool.Put(e.scratch)
+	e.scratch = nil
+	for k := range e.draws {
+		e.pool.Put(e.draws[k].scratch)
+		e.draws[k].scratch = nil
+	}
+	e.draws = nil
+}
+
 func (e *engine) run(budget run.Budget, obs run.Observer, name string) run.Result {
+	defer e.stopWorkers()
+	defer e.releaseScratches()
 	start := time.Now()
 	iter := 0
 	emit := func() {

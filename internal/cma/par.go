@@ -1,9 +1,6 @@
 package cma
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"gridcma/internal/evalpool"
 	"gridcma/internal/rng"
 	"gridcma/internal/schedule"
@@ -99,12 +96,69 @@ func (e *engine) iterateBatch(iter int, frozen bool) {
 	}
 }
 
+// Persistent worker pool. The executor used to spawn a fresh set of
+// goroutines for every wave — tens of thousands of goroutine launches per
+// run on fine partitions. Instead, the engine now starts its workers once
+// (lazily, at the first parallel batch) and feeds them task indices over
+// a channel; a batch is one WaitGroup cycle. The channel send
+// happens-before the worker's receive, so writes to taskExec and the
+// per-draw state made before dispatch are visible without extra locking,
+// and determinism is untouched: every task still writes only its own
+// draw slot, and commits stay sequential in draw order between waves.
+
+// startWorkers lazily launches the configured number of persistent
+// workers. Batches narrower than the pool leave the excess workers
+// parked on the channel, which costs nothing.
+func (e *engine) startWorkers() {
+	if e.tasks != nil {
+		return
+	}
+	workers := e.workers()
+	e.tasks = make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range e.tasks {
+				e.taskExec(i)
+				e.taskWG.Done()
+			}
+		}()
+	}
+}
+
+// stopWorkers terminates the persistent workers; the engine is done.
+func (e *engine) stopWorkers() {
+	if e.tasks != nil {
+		close(e.tasks)
+		e.tasks = nil
+	}
+}
+
+// runTasks executes exec(0..n-1) on the persistent workers (sequentially
+// when the engine is configured for one worker), returning when all have
+// finished.
+func (e *engine) runTasks(n int, exec func(int)) {
+	if e.workers() <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			exec(i)
+		}
+		return
+	}
+	e.startWorkers()
+	e.taskExec = exec
+	e.taskWG.Add(n)
+	for i := 0; i < n; i++ {
+		e.tasks <- i
+	}
+	e.taskWG.Wait()
+}
+
 // runWave evaluates the draws of one wave, fanning them across the
-// configured workers. Every draw's RNG stream depends only on (seed,
+// persistent workers. Every draw's RNG stream depends only on (seed,
 // iteration, draw index), so the wave's results are independent of how
 // the draws land on goroutines.
 func (e *engine) runWave(iter int, wave []int, popAt func(int) *schedule.State, fitAt func(int) float64) {
-	exec := func(k int) {
+	e.runTasks(len(wave), func(i int) {
+		k := wave[i]
 		d := &e.draws[k]
 		d.rng.Reseed(e.seed ^ mix(uint64(iter), uint64(k)))
 		if d.mutation {
@@ -112,72 +166,18 @@ func (e *engine) runWave(iter int, wave []int, popAt func(int) *schedule.State, 
 		} else {
 			d.fit = e.recombineInto(d.cell, d.scratch, popAt, fitAt, &d.rng)
 		}
-	}
-	workers := e.workers()
-	if workers > len(wave) {
-		workers = len(wave)
-	}
-	if workers <= 1 {
-		for _, k := range wave {
-			exec(k)
-		}
-		return
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(wave) {
-					return
-				}
-				exec(wave[i])
-			}
-		}()
-	}
-	wg.Wait()
+	})
 }
 
 // initCells is the parallel population initialisation: per-cell RNG
-// streams, cells fanned across the partition's blocks (or plain index
-// ranges when no partition exists, i.e. in synchronous mode). Identical
-// results for every worker count.
+// streams fanned across the persistent workers. Identical results for
+// every worker count.
 func (e *engine) initCells(initial []schedule.Schedule, base schedule.Schedule, frac float64) {
-	n := len(e.pop)
-	workers := e.workers()
-	if workers > n {
-		workers = n
-	}
-	doCell := func(i int) {
+	e.runTasks(len(e.pop), func(i int) {
 		var r rng.Source
 		r.Reseed(e.seed ^ mix(^uint64(0), uint64(i)))
 		e.initCell(i, initial, base, frac, &r)
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			doCell(i)
-		}
-		return
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				doCell(i)
-			}
-		}()
-	}
-	wg.Wait()
+	})
 }
 
 // mix hashes two words into one (splitmix-style finaliser over the pair).

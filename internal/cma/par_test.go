@@ -5,6 +5,7 @@ import (
 
 	"gridcma/internal/cell"
 	"gridcma/internal/heuristics"
+	"gridcma/internal/localsearch"
 	"gridcma/internal/run"
 	"gridcma/internal/schedule"
 )
@@ -39,6 +40,43 @@ func TestParallelAsyncDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 		if ref.Evals != res.Evals {
 			t.Fatalf("workers=%d changed eval count: %d vs %d", workers, ref.Evals, res.Evals)
+		}
+	}
+}
+
+// Worker-count invariance must hold under every local-search method: the
+// memetic step now scores its neighbors with the speculative probes
+// (State.FitnessAfterMove / FitnessAfterSwap) instead of apply+revert,
+// and the probe path has to be as schedule-deterministic as the old one
+// for any number of workers.
+func TestParallelAsyncDeterministicAcrossLocalSearches(t *testing.T) {
+	in := testInstance(26)
+	methods := []localsearch.Method{
+		localsearch.LM{},
+		localsearch.SLM{},
+		localsearch.LMCTS{},
+		localsearch.SampledLMCTS{Samples: 16},
+	}
+	for _, ls := range methods {
+		var ref run.Result
+		for i, workers := range []int{1, 2, 8} {
+			cfg := parCfg(workers)
+			cfg.LocalSearch = ls
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.Run(in, run.Budget{MaxIterations: 6}, 13, nil)
+			if i == 0 {
+				ref = res
+				continue
+			}
+			if !ref.Best.Equal(res.Best) {
+				t.Fatalf("%s: workers=%d changed the best schedule", ls.Name(), workers)
+			}
+			if ref.Fitness != res.Fitness || ref.Makespan != res.Makespan || ref.Flowtime != res.Flowtime {
+				t.Fatalf("%s: workers=%d changed objectives", ls.Name(), workers)
+			}
 		}
 	}
 }

@@ -202,11 +202,26 @@ func (s *Scheduler) Name() string { return s.cfg.Variant.String() }
 
 // Run executes the GA within budget.
 func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer) run.Result {
+	return s.RunPooled(in, budget, seed, obs, nil)
+}
+
+// RunPooled is Run with a caller-supplied scratch pool (it implements
+// runner.PooledScheduler): batch sweeps on one instance reuse offspring
+// workspaces across runs. A nil or foreign-instance pool falls back to a
+// private one; sharing never affects results.
+func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer, pool *evalpool.Pool) run.Result {
 	if !budget.Bounded() {
 		panic("ga: unbounded budget")
 	}
-	g := &gaState{in: in, cfg: s.cfg, r: rng.New(seed)}
+	if pool != nil && pool.Instance() != in {
+		pool = nil
+	}
+	g := &gaState{in: in, cfg: s.cfg, r: rng.New(seed), pool: pool}
 	g.init()
+	defer func() {
+		g.pool.Put(g.scratch)
+		g.scratch = nil
+	}()
 	return g.run(budget, obs)
 }
 
@@ -232,7 +247,9 @@ type gaState struct {
 }
 
 func (g *gaState) init() {
-	g.pool = evalpool.New(g.in)
+	if g.pool == nil {
+		g.pool = evalpool.New(g.in)
+	}
 	g.pop = make([]*schedule.State, g.cfg.PopSize)
 	g.fit = make([]float64, g.cfg.PopSize)
 	for i := range g.pop {

@@ -230,13 +230,33 @@ func MinMin(in *etc.Instance) schedule.Schedule { return minMinLike(in, false) }
 func MaxMin(in *etc.Instance) schedule.Schedule { return minMinLike(in, true) }
 
 // Duplex runs Min-Min and Max-Min and keeps the schedule with the better
-// makespan, as in Braun et al.
+// makespan, as in Braun et al. The comparison sums machine loads directly
+// — a makespan needs no per-machine job ordering — instead of building
+// two throwaway incremental evaluators.
 func Duplex(in *etc.Instance) schedule.Schedule {
 	a, b := MinMin(in), MaxMin(in)
-	if schedule.NewState(in, a).Makespan() <= schedule.NewState(in, b).Makespan() {
+	avail := make([]float64, in.Machs)
+	if makespanInto(avail, in, a) <= makespanInto(avail, in, b) {
 		return a
 	}
 	return b
+}
+
+// makespanInto computes the makespan of s using avail (length nb_machines)
+// as its only working storage, so callers comparing several schedules
+// reuse one buffer.
+func makespanInto(avail []float64, in *etc.Instance, s schedule.Schedule) float64 {
+	copy(avail, in.Ready)
+	for j, m := range s {
+		avail[m] += in.At(j, m)
+	}
+	max := 0.0
+	for _, c := range avail {
+		if c > max {
+			max = c
+		}
+	}
+	return max
 }
 
 // Sufferage repeatedly commits the unscheduled job that would "suffer" most

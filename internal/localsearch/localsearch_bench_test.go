@@ -1,0 +1,84 @@
+package localsearch
+
+import (
+	"testing"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
+)
+
+// benchState builds a random evaluated state at the paper's benchmark
+// shape (512×16).
+func benchState(b *testing.B) (*schedule.State, *rng.Source) {
+	b.Helper()
+	in := etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+		0, etc.GenerateOptions{Seed: 1, Jobs: 512, Machs: 16})
+	r := rng.New(7)
+	return schedule.NewState(in, schedule.NewRandom(in, r)), r
+}
+
+// slmApplyRevert is the pre-probe formulation of SLM, kept as the
+// benchmark reference: every candidate target costs two Moves (apply and
+// revert) plus two full fitness reads. BenchmarkSLMProbe vs
+// BenchmarkSLMApplyRevert is the headline number of the probe engine.
+func slmApplyRevert(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
+	in := st.Instance()
+	for k := 0; k < iters; k++ {
+		j := r.Intn(in.Jobs)
+		from := st.Assign(j)
+		bestFit := o.Of(st)
+		bestTo := from
+		for to := 0; to < in.Machs; to++ {
+			if to == from {
+				continue
+			}
+			st.Move(j, to)
+			if f := o.Of(st); f < bestFit {
+				bestFit, bestTo = f, to
+			}
+			st.Move(j, from)
+		}
+		if bestTo != from {
+			st.Move(j, bestTo)
+		}
+	}
+}
+
+// BenchmarkSLMProbe measures one steepest-local-move iteration through
+// the speculative probe path (M−1 FitnessAfterMove probes, one committed
+// Move at most). Must report 0 allocs/op — CI runs it with -benchtime=1x
+// and fails otherwise.
+func BenchmarkSLMProbe(b *testing.B) {
+	st, r := benchState(b)
+	o := schedule.DefaultObjective
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SLM{}.Improve(st, o, 1, r)
+	}
+}
+
+// BenchmarkSLMApplyRevert is the historical 2(M−1)-Move formulation on
+// the same instance shape, for direct comparison with BenchmarkSLMProbe.
+func BenchmarkSLMApplyRevert(b *testing.B) {
+	st, r := benchState(b)
+	o := schedule.DefaultObjective
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slmApplyRevert(st, o, 1, r)
+	}
+}
+
+// BenchmarkLMCTSProbe measures one LMCTS steepest-swap step (critical-
+// machine scan, probe-gated commit) — the tuned method's hot loop.
+func BenchmarkLMCTSProbe(b *testing.B) {
+	st, r := benchState(b)
+	o := schedule.DefaultObjective
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampledLMCTS{Samples: 64}.Improve(st, o, 1, r)
+	}
+}

@@ -119,22 +119,22 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 		for k := 0; k < sweep; k++ {
 			j := r.Intn(in.Jobs)
 			to := r.Intn(in.Machs)
-			from := cur.Assign(j)
-			if from == to {
+			if cur.Assign(j) == to {
 				continue
 			}
-			cur.Move(j, to)
-			f := o.Of(cur)
+			// Probe-then-commit: the speculative fitness decides the
+			// Metropolis test, and only accepted proposals touch the
+			// state — a rejection costs no Move/revert pair.
+			f := cur.FitnessAfterMove(o, j, to)
 			evals++
 			accept := f <= curFit
 			if !accept && temp > 0 {
 				accept = r.Float64() < math.Exp((curFit-f)/temp)
 			}
 			if accept {
+				cur.Move(j, to)
 				curFit = f
 				best.Note(cur, f)
-			} else {
-				cur.Move(j, from)
 			}
 		}
 		temp *= s.cfg.Cooling

@@ -1,0 +1,78 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"gridcma/internal/rng"
+)
+
+// brute-force references for the tree queries.
+func scanMax(vals []float64, skip ...int) (float64, int) {
+	best, arg := math.Inf(-1), -1
+	for i, v := range vals {
+		skipped := false
+		for _, s := range skip {
+			if i == s {
+				skipped = true
+			}
+		}
+		if skipped {
+			continue
+		}
+		if v > best { // strict: lowest index wins ties
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// TestMaxTreeRandomised drives a tree of every small size through random
+// updates, checking max, argmax and both exclusion queries against linear
+// scans. Values are drawn from a tiny set so ties are frequent.
+func TestMaxTreeRandomised(t *testing.T) {
+	r := rng.New(17)
+	for n := 1; n <= 20; n++ {
+		var tr maxTree
+		tr.init(n)
+		vals := make([]float64, n)
+		for step := 0; step < 400; step++ {
+			i := r.Intn(n)
+			v := float64(r.Intn(5)) // few distinct values => many ties
+			vals[i] = v
+			tr.update(i, v)
+
+			wantMax, wantArg := scanMax(vals)
+			if tr.max() != wantMax || tr.argmax() != wantArg {
+				t.Fatalf("n=%d step=%d: max/argmax (%v,%d), want (%v,%d)",
+					n, step, tr.max(), tr.argmax(), wantMax, wantArg)
+			}
+			ex := r.Intn(n)
+			if got, _ := scanMax(vals, ex); tr.maxExcluding(ex) != got {
+				t.Fatalf("n=%d step=%d: maxExcluding(%d) = %v, want %v",
+					n, step, ex, tr.maxExcluding(ex), got)
+			}
+			if n > 1 {
+				ex2 := (ex + 1 + r.Intn(n-1)) % n
+				if got, _ := scanMax(vals, ex, ex2); tr.maxExcluding2(ex, ex2) != got {
+					t.Fatalf("n=%d step=%d: maxExcluding2(%d,%d) = %v, want %v",
+						n, step, ex, ex2, tr.maxExcluding2(ex, ex2), got)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxTreeSingleLeaf pins the degenerate single-machine behavior: the
+// exclusion queries have no remaining leaves and report -Inf.
+func TestMaxTreeSingleLeaf(t *testing.T) {
+	var tr maxTree
+	tr.init(1)
+	tr.update(0, 42)
+	if tr.max() != 42 || tr.argmax() != 0 {
+		t.Fatalf("max/argmax (%v,%d)", tr.max(), tr.argmax())
+	}
+	if !math.IsInf(tr.maxExcluding(0), -1) {
+		t.Fatalf("maxExcluding(0) = %v, want -Inf", tr.maxExcluding(0))
+	}
+}

@@ -2,7 +2,6 @@ package schedule
 
 import (
 	"fmt"
-	"math"
 	"slices"
 
 	"gridcma/internal/etc"
@@ -17,16 +16,27 @@ import (
 //	completion[m] = ready[m] + Σ_{j on m} ETC[j][m]
 //
 // and the machine's flowtime contribution. Move and Swap update these in
-// O(jobs-on-machine); makespan is the max over machines (nb_machines is 16
-// in the benchmark, so a scan is effectively free).
+// O(jobs-on-machine); the machine completions additionally feed an indexed
+// tournament tree (maxtree.go) maintained in O(log M) per machine refresh,
+// which makes Makespan and MakespanMachine O(1) reads and answers the
+// "max completion excluding machine(s)" query behind the speculative
+// FitnessAfterMove / FitnessAfterSwap probes (probe.go).
 type State struct {
-	inst       *etc.Instance
-	assign     Schedule
-	machJobs   [][]int32 // per machine, job ids sorted by (ETC, id)
-	slot       []int32   // slot[j] = index of job j within machJobs[assign[j]]
+	inst     *etc.Instance
+	assign   Schedule
+	machJobs [][]int32 // per machine, job ids sorted by (ETC, id)
+	slot     []int32   // slot[j] = index of job j within machJobs[assign[j]]
+	// machCumC[m][k] / machCumF[m][k] are the running completion and
+	// flowtime of machine m after its k-th job — refreshMachine's partial
+	// sums, recorded as they are produced. A speculative probe reuses the
+	// prefix before the edited slot verbatim (the bits are refreshMachine's
+	// own) and only resums the suffix, halving its work on average.
+	machCumC   [][]float64
+	machCumF   [][]float64
 	completion []float64
 	machFlow   []float64
 	flowtime   float64
+	top        maxTree // argmax over completion, O(log M) maintenance
 }
 
 // NewState evaluates s against in. The schedule is copied; the State owns
@@ -39,10 +49,13 @@ func NewState(in *etc.Instance, s Schedule) *State {
 		inst:       in,
 		assign:     s.Clone(),
 		machJobs:   make([][]int32, in.Machs),
+		machCumC:   make([][]float64, in.Machs),
+		machCumF:   make([][]float64, in.Machs),
 		slot:       make([]int32, in.Jobs),
 		completion: make([]float64, in.Machs),
 		machFlow:   make([]float64, in.Machs),
 	}
+	st.top.init(in.Machs)
 	// Carve the per-machine lists out of one backing array, so
 	// construction costs one allocation instead of one growth chain per
 	// machine. Each region gets twice the balanced share as headroom
@@ -63,9 +76,13 @@ func NewState(in *etc.Instance, s Schedule) *State {
 		total += counts[m]
 	}
 	backing := make([]int32, total)
+	cumC := make([]float64, total)
+	cumF := make([]float64, total)
 	off := 0
 	for m := range st.machJobs {
 		st.machJobs[m] = backing[off : off : off+counts[m]]
+		st.machCumC[m] = cumC[off : off : off+counts[m]]
+		st.machCumF[m] = cumF[off : off : off+counts[m]]
 		off += counts[m]
 	}
 	st.rebuild()
@@ -113,18 +130,25 @@ func (st *State) less(a, b int32, m int) bool {
 }
 
 // refreshMachine recomputes completion and flowtime of machine m from its
-// (already sorted) job list.
+// (already sorted) job list, recording the per-slot partial sums the
+// speculative probes reuse.
 func (st *State) refreshMachine(m int) {
 	jobs := st.machJobs[m]
-	ready := st.inst.Ready[m]
-	t := ready
+	cumC := st.machCumC[m][:0]
+	cumF := st.machCumF[m][:0]
+	t := st.inst.Ready[m]
 	flow := 0.0
 	for _, j := range jobs {
 		t += st.inst.At(int(j), m)
 		flow += t
+		cumC = append(cumC, t)
+		cumF = append(cumF, flow)
 	}
+	st.machCumC[m] = cumC
+	st.machCumF[m] = cumF
 	st.completion[m] = t
 	st.machFlow[m] = flow
+	st.top.update(m, t)
 }
 
 // Instance returns the instance this state evaluates against.
@@ -147,26 +171,32 @@ func (st *State) Completion(m int) float64 { return st.completion[m] }
 // mutate the returned slice.
 func (st *State) JobsOn(m int) []int32 { return st.machJobs[m] }
 
-// Makespan returns the finishing time of the latest machine.
+// Makespan returns the finishing time of the latest machine. It is an
+// O(1) read of the completion tournament tree (never below 0, matching
+// the historical linear scan that started its maximum at zero).
 func (st *State) Makespan() float64 {
-	max := 0.0
-	for _, c := range st.completion {
-		if c > max {
-			max = c
-		}
+	if m := st.top.max(); m > 0 {
+		return m
 	}
-	return max
+	return 0
 }
 
-// MakespanMachine returns the index of a machine attaining the makespan.
+// MakespanMachine returns the index of the machine attaining the
+// makespan, in O(1). Tie-breaking is a documented contract: when several
+// machines share the maximal completion time, the lowest machine index
+// wins. LMCTS derives its critical machine from this, so the choice is
+// pinned by a regression test (TestMakespanMachineTieBreak) — an
+// implementation that returned any other tied machine would silently
+// change which swaps the tuned local search considers.
 func (st *State) MakespanMachine() int {
-	best, arg := math.Inf(-1), 0
-	for m, c := range st.completion {
-		if c > best {
-			best, arg = c, m
-		}
-	}
-	return arg
+	return st.top.argmax()
+}
+
+// MakespanExcluding returns the largest completion time among machines
+// other than m, or -Inf when m is the only machine — the query behind
+// the speculative fitness probes. O(log M).
+func (st *State) MakespanExcluding(m int) float64 {
+	return st.top.maxExcluding(m)
 }
 
 // Flowtime returns the sum of job finishing times.
@@ -196,18 +226,12 @@ func (st *State) remove(j int, m int) {
 }
 
 // insert places job j into machine m's list keeping SPT order. The
-// position is found by binary search over the (ETC, id) order.
+// position comes from insertPos (probe.go) — the same binary search the
+// speculative probes replay, so commit and probe can never disagree on
+// placement.
 func (st *State) insert(j int, m int) {
 	jobs := st.machJobs[m]
-	lo, hi := 0, len(jobs)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if st.less(jobs[mid], int32(j), m) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
+	lo := st.insertPos(m, int32(j))
 	jobs = append(jobs, 0)
 	for i := len(jobs) - 1; i > lo; i-- {
 		v := jobs[i-1]
@@ -292,13 +316,18 @@ func (st *State) Clone() *State {
 		inst:       st.inst,
 		assign:     st.assign.Clone(),
 		machJobs:   make([][]int32, len(st.machJobs)),
+		machCumC:   make([][]float64, len(st.machJobs)),
+		machCumF:   make([][]float64, len(st.machJobs)),
 		slot:       append([]int32(nil), st.slot...),
 		completion: append([]float64(nil), st.completion...),
 		machFlow:   append([]float64(nil), st.machFlow...),
 		flowtime:   st.flowtime,
+		top:        st.top.clone(),
 	}
 	for m, jobs := range st.machJobs {
 		cp.machJobs[m] = append([]int32(nil), jobs...)
+		cp.machCumC[m] = append([]float64(nil), st.machCumC[m]...)
+		cp.machCumF[m] = append([]float64(nil), st.machCumF[m]...)
 	}
 	return cp
 }
@@ -313,7 +342,10 @@ func (st *State) CopyFrom(src *State) {
 	copy(st.completion, src.completion)
 	copy(st.machFlow, src.machFlow)
 	st.flowtime = src.flowtime
+	st.top.copyFrom(&src.top)
 	for m := range st.machJobs {
 		st.machJobs[m] = append(st.machJobs[m][:0], src.machJobs[m]...)
+		st.machCumC[m] = append(st.machCumC[m][:0], src.machCumC[m]...)
+		st.machCumF[m] = append(st.machCumF[m][:0], src.machCumF[m]...)
 	}
 }

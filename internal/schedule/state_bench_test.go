@@ -41,6 +41,51 @@ func BenchmarkSwapLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkFitnessAfterMoveProbe measures the speculative single-move
+// probe on the paper's 512×16 shape — the unit of work SLM/LM/SA/tabu
+// now spend per candidate instead of an apply+revert Move pair. Must
+// report 0 allocs/op (enforced in CI).
+func BenchmarkFitnessAfterMoveProbe(b *testing.B) {
+	st, r := benchState(b, 512, 16)
+	in := st.Instance()
+	o := DefaultObjective
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.FitnessAfterMove(o, r.Intn(in.Jobs), r.Intn(in.Machs))
+	}
+}
+
+// BenchmarkFitnessAfterSwapProbe measures the speculative swap probe
+// (LMCTS's accept test). Must report 0 allocs/op (enforced in CI).
+func BenchmarkFitnessAfterSwapProbe(b *testing.B) {
+	st, r := benchState(b, 512, 16)
+	in := st.Instance()
+	o := DefaultObjective
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.FitnessAfterSwap(o, r.Intn(in.Jobs), r.Intn(in.Jobs))
+	}
+}
+
+// BenchmarkMoveEvaluateRevert is the scratch-path baseline the probes
+// replace: apply the move, read the fitness, revert.
+func BenchmarkMoveEvaluateRevert(b *testing.B) {
+	st, r := benchState(b, 512, 16)
+	in := st.Instance()
+	o := DefaultObjective
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, to := r.Intn(in.Jobs), r.Intn(in.Machs)
+		from := st.Assign(j)
+		st.Move(j, to)
+		_ = o.Of(st)
+		st.Move(j, from)
+	}
+}
+
 // BenchmarkSetSchedule measures the full re-evaluation path used when a
 // scratch evaluator is re-pointed at a crossover offspring.
 func BenchmarkSetSchedule(b *testing.B) {

@@ -117,14 +117,13 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 		for k := 0; k < samples; k++ {
 			j := r.Intn(in.Jobs)
 			to := r.Intn(in.Machs)
-			from := cur.Assign(j)
-			if from == to {
+			if cur.Assign(j) == to {
 				continue
 			}
-			cur.Move(j, to)
-			f := o.Of(cur)
+			// Candidates are scored with the speculative probe; only the
+			// chosen move below mutates the state.
+			f := cur.FitnessAfterMove(o, j, to)
 			evals++
-			cur.Move(j, from)
 			tabu := tabuUntil[j*in.Machs+to] > iter
 			if tabu && f >= best.Fitness() { // aspiration only on global improvement
 				continue

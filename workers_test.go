@@ -87,6 +87,40 @@ func TestWithWorkersZeroRestoresDefault(t *testing.T) {
 	}
 }
 
+// The probe path (speculative FitnessAfterMove scoring inside SLM's
+// steepest descent) must preserve the cross-worker determinism contract
+// end to end: a custom cMA whose memetic step is pure probe evaluation
+// yields byte-identical schedules for every worker count.
+func TestWithWorkersDeterministicProbePath(t *testing.T) {
+	in := gridcma.GenerateInstance(gridcma.InstanceClass{}, 96, 8, 11)
+	cfg := gridcma.DefaultCMAConfig()
+	ls, err := gridcma.LocalSearch("SLM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LocalSearch = ls
+	cfg.Workers = 1
+	var ref gridcma.Result
+	for i, workers := range []int{1, 2, 8} {
+		s, err := gridcma.NewCMA(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background(), in,
+			gridcma.WithMaxIterations(5), gridcma.WithSeed(9), gridcma.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !ref.Best.Equal(res.Best) || ref.Fitness != res.Fitness || ref.Makespan != res.Makespan {
+			t.Fatalf("SLM probe path: WithWorkers(%d) changed the result", workers)
+		}
+	}
+}
+
 func TestWithWorkersNegativeRejected(t *testing.T) {
 	in := gridcma.GenerateInstance(gridcma.InstanceClass{}, 32, 4, 1)
 	s, err := gridcma.New("cma")
