@@ -1,0 +1,104 @@
+package gridcma
+
+import (
+	"context"
+	"testing"
+
+	"gridcma/internal/evalpool"
+	"gridcma/internal/run"
+	"gridcma/internal/runner"
+)
+
+// Compile-time wiring of the pool-forwarding chain: the batch executor
+// sees every public algorithm as a PooledScheduler through the shim, and
+// both public wrapper layers speak the unexported pooledRunner extension.
+var (
+	_ runner.PooledScheduler = publicShim{}
+	_ pooledRunner           = (*engineScheduler)(nil)
+	_ pooledRunner           = (*withDefaults)(nil)
+)
+
+// TestPublicPoolForwarding runs one registry algorithm through the shim
+// twice — plain and with a shared per-instance pool, including through
+// the withDefaults wrapper — and requires identical schedules: pool
+// sharing is a pure allocation optimisation, never a behaviour change.
+// It also checks the pool actually sees traffic (the engine's scratches
+// are returned to it) and that a nil pool degrades to a plain Run.
+func TestPublicPoolForwarding(t *testing.T) {
+	in := GenerateInstance(InstanceClass{}, 48, 6, 11)
+	budget := run.Budget{MaxIterations: 3}
+
+	// Through withDefaults: New with default options wraps the engine
+	// scheduler, and runPooled must still reach the engine.
+	s, err := New("cma", WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs errCollector
+	shim := publicShim{s: s, errs: &errs}
+	plain := shim.Run(in, budget, 5, nil)
+
+	pool := evalpool.New(in)
+	pooled := shim.RunPooled(in, budget, 5, nil, pool)
+	if err := errs.first(); err != nil {
+		t.Fatal(err)
+	}
+	if !pooled.Best.Equal(plain.Best) || pooled.Fitness != plain.Fitness {
+		t.Fatal("pooled run diverged from plain run")
+	}
+	sc := pool.Get()
+	if sc == nil || sc.St.Instance() != in {
+		t.Fatal("engine did not return its scratches to the shared pool")
+	}
+	pool.Put(sc)
+
+	if res := shim.RunPooled(in, budget, 5, nil, nil); !res.Best.Equal(plain.Best) {
+		t.Fatal("nil pool diverged from plain run")
+	}
+}
+
+// TestRunBatchSharesPools drives the public RunBatch over two pooled
+// algorithms and two instances and checks the results stay deterministic
+// and identical across worker counts — the pool sharing behind it must be
+// invisible in every output.
+func TestRunBatchSharesPools(t *testing.T) {
+	a := GenerateInstance(InstanceClass{}, 48, 6, 21)
+	a.Name = "a"
+	b := GenerateInstance(InstanceClass{}, 64, 4, 22)
+	b.Name = "b"
+	cmaS, err := New("cma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	islandS, err := New("island")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := BatchSpec{
+		Instances:  []*Instance{a, b},
+		Algorithms: []Scheduler{cmaS, islandS},
+		Budget:     Budget{MaxIterations: 2},
+		Repeats:    2,
+		BaseSeed:   9,
+	}
+	var ref []BatchResult
+	for _, workers := range []int{1, 4} {
+		spec.Workers = workers
+		got, err := RunBatch(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if !got[i].Result.Best.Equal(ref[i].Result.Best) {
+				t.Fatalf("workers=%d: result %d diverged", workers, i)
+			}
+		}
+	}
+}

@@ -63,6 +63,10 @@ type Row struct {
 	// wall-clock(probe): how many times the speculative probe beats the
 	// apply+revert evaluation of the same candidates.
 	ProbeSpeedup float64 `json:"probe_speedup,omitempty"`
+	// SweepSpeedup, on the sweep-*-scan rows, is wall-clock(scalar probe
+	// scan) / wall-clock(sweep): how many times the batched sweep kernel
+	// beats the per-candidate scalar probes over the same neighborhoods.
+	SweepSpeedup float64 `json:"sweep_speedup,omitempty"`
 }
 
 // Report is the BENCH_*.json schema.
@@ -154,6 +158,12 @@ func main() {
 		// evaluated once through the speculative probe and once through
 		// apply+revert.
 		rep.Rows = append(rep.Rows, measureProbes(spec, *seed, *quick)...)
+
+		// Sweep vs scalar-probe micro rows: the same neighborhoods (all
+		// move targets of a job; all critical swap partners), evaluated
+		// once per candidate through the scalar probes and once through
+		// the batched sweep kernels.
+		rep.Rows = append(rep.Rows, measureSweeps(spec, *seed, *quick)...)
 	}
 
 	path := filepath.Join(*out, "BENCH_"+*label+".json")
@@ -280,6 +290,129 @@ func measureProbes(spec instanceSpec, seed uint64, quick bool) []Row {
 	fmt.Printf("  %-12s %8.3fs  evals/s %10.1f  speedup %.2fx  allocs %d\n",
 		probeRow.Algorithm, probeRow.Seconds, probeRow.EvalsPerSec, probeRow.ProbeSpeedup, probeRow.Allocs)
 	return []Row{scratchRow, probeRow}
+}
+
+// measureSweeps times the batched sweep kernels against the scalar-probe
+// scans they replaced, over identical candidate neighborhoods, and emits
+// one row per path. The sweep rows' SweepSpeedup column is the headline
+// number of the batched evaluation layer.
+func measureSweeps(spec instanceSpec, seed uint64, quick bool) []Row {
+	moveScans, swapScans := 20000, 1000
+	if quick {
+		moveScans, swapScans = 2000, 100
+	}
+	o := schedule.DefaultObjective
+
+	row := func(alg string, evals int64, elapsed time.Duration, before, after *runtime.MemStats) Row {
+		r := Row{
+			Instance: spec.name, Jobs: spec.jobs, Machs: spec.machs,
+			Algorithm: alg, Seconds: elapsed.Seconds(), Evals: evals,
+			Allocs: after.Mallocs - before.Mallocs, AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		}
+		if elapsed > 0 {
+			r.EvalsPerSec = float64(evals) / elapsed.Seconds()
+		}
+		return r
+	}
+
+	// Move side: every machine as a target for a random job — the SLM
+	// neighborhood — scalar probes vs one sweep call.
+	moveRun := func(sweep bool) (Row, float64) {
+		r := rng.New(seed)
+		st := schedule.NewState(spec.in, schedule.NewRandom(spec.in, r))
+		alg := "probe-move-scan"
+		if sweep {
+			alg = "sweep-move-scan"
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		var sink float64
+		start := time.Now()
+		for i := 0; i < moveScans; i++ {
+			j := r.Intn(spec.in.Jobs)
+			if sweep {
+				fits := st.FitnessAfterMoveSweep(o, j, nil)
+				sink += fits[j%spec.in.Machs]
+			} else {
+				from := st.Assign(j)
+				for to := 0; to < spec.in.Machs; to++ {
+					if to == from {
+						continue
+					}
+					sink += st.FitnessAfterMove(o, j, to)
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		_ = sink
+		return row(alg, int64(moveScans)*int64(spec.in.Machs-1), elapsed, &before, &after), elapsed.Seconds()
+	}
+
+	// Swap side: the full LMCTS critical scan — every critical job against
+	// every partner job — scalar pair queries vs the step-level swap scan.
+	swapRun := func(sweep bool) (Row, float64) {
+		r := rng.New(seed)
+		st := schedule.NewState(spec.in, schedule.NewRandom(spec.in, r))
+		alg := "probe-swap-scan"
+		if sweep {
+			alg = "sweep-swap-scan"
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		var sink float64
+		var evals int64
+		start := time.Now()
+		for i := 0; i < swapScans; i++ {
+			crit := st.MakespanMachine()
+			critJobs := st.JobsOn(crit)
+			if sweep {
+				scan := st.BeginSwapScan(crit)
+				for _, a := range critJobs {
+					v, _ := scan.BestPartner(int(a))
+					sink += v
+				}
+			} else {
+				for _, a := range critJobs {
+					for b := 0; b < spec.in.Jobs; b++ {
+						if st.Assign(b) == crit {
+							continue
+						}
+						aC, bC := st.CompletionAfterSwap(int(a), b)
+						if bC > aC {
+							aC = bC
+						}
+						sink += aC
+					}
+				}
+			}
+			evals += int64(len(critJobs)) * int64(spec.in.Jobs-len(critJobs))
+			// Churn the state (same stream on both paths) so successive
+			// scans see fresh critical machines.
+			st.Move(r.Intn(spec.in.Jobs), r.Intn(spec.in.Machs))
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		_ = sink
+		return row(alg, evals, elapsed, &before, &after), elapsed.Seconds()
+	}
+
+	out := make([]Row, 0, 4)
+	for _, kernel := range []func(bool) (Row, float64){moveRun, swapRun} {
+		scalarRow, scalarSec := kernel(false)
+		sweepRow, sweepSec := kernel(true)
+		if sweepSec > 0 {
+			sweepRow.SweepSpeedup = scalarSec / sweepSec
+		}
+		fmt.Printf("  %-15s %8.3fs  evals/s %12.1f\n",
+			scalarRow.Algorithm, scalarRow.Seconds, scalarRow.EvalsPerSec)
+		fmt.Printf("  %-15s %8.3fs  evals/s %12.1f  speedup %.2fx  allocs %d\n",
+			sweepRow.Algorithm, sweepRow.Seconds, sweepRow.EvalsPerSec, sweepRow.SweepSpeedup, sweepRow.Allocs)
+		out = append(out, scalarRow, sweepRow)
+	}
+	return out
 }
 
 func buildInstances(quick bool) ([]instanceSpec, error) {

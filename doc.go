@@ -63,9 +63,9 @@
 // returns its best-so-far schedule together with ctx.Err(). A run with no
 // budget option and no context deadline fails with ErrUnbounded.
 //
-// # Evaluation: scratch, incremental and probe
+// # Evaluation: scratch, incremental, probe and sweep
 //
-// The evaluation layer (internal/schedule) works at three temperatures.
+// The evaluation layer (internal/schedule) works at four temperatures.
 // Scratch evaluation (Objective.Evaluate, NewState, State.SetSchedule)
 // rebuilds everything from a genotype — the entry point for crossover
 // offspring and external schedules. Incremental evaluation (State.Move,
@@ -76,10 +76,20 @@
 // (State.FitnessAfterMove, State.FitnessAfterSwap) returns the exact
 // fitness a hypothetical move or swap would produce, allocation-free and
 // without mutating the state, bit-identical to applying the move,
-// evaluating and reverting. The local searches (LM, SLM, LMCTS), SA and
-// tabu search all score candidates with probes and commit only accepted
-// steps, which is why their hot loops allocate nothing and run several
-// times faster than the historical apply+revert formulation.
+// evaluating and reverting. Sweep evaluation batches whole candidate
+// neighborhoods over shared partial results: FitnessAfterMoveSweep
+// scores moving one job to every machine in one pass,
+// CompletionAfterSwapSweep and the step-level swap scan
+// (BeginSwapScan/BestPartner) emit the post-swap completions of one job
+// against every partner in single list scans, and BeginMoveScan caches
+// the top completions so batches of unrelated probes skip the per-probe
+// tree walks. Every sweep value equals its scalar probe bit for bit. The
+// local searches (LM, SLM, LMCTS), SA and tabu search score candidates
+// with sweeps where the neighborhood has batch structure and scalar
+// probes elsewhere, and commit only accepted steps — their hot loops
+// allocate nothing and run several times faster than the historical
+// apply+revert formulation (and 2–3× faster again than per-candidate
+// scalar probing).
 //
 // MakespanMachine ties break toward the lowest machine index — a
 // documented contract (LMCTS derives its critical machine from it),

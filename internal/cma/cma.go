@@ -204,10 +204,21 @@ func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, 
 // (internal/island): islands export their populations at segment
 // boundaries, exchange individuals, and resume.
 func (s *Scheduler) RunWithPopulation(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer, initial []schedule.Schedule) (run.Result, []schedule.Schedule) {
+	return s.RunWithPopulationPooled(in, budget, seed, obs, initial, nil)
+}
+
+// RunWithPopulationPooled is RunWithPopulation drawing offspring
+// workspaces from a caller-supplied pool, under the same advisory
+// contract as RunPooled — the island model shares one pool across its
+// concurrently running segment sub-runs (the pool is safe for that).
+func (s *Scheduler) RunWithPopulationPooled(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer, initial []schedule.Schedule, pool *evalpool.Pool) (run.Result, []schedule.Schedule) {
 	if !budget.Bounded() {
 		panic("cma: unbounded budget")
 	}
-	e := newEngine(in, s.cfg, seed, initial, budget, nil)
+	if pool != nil && pool.Instance() != in {
+		pool = nil
+	}
+	e := newEngine(in, s.cfg, seed, initial, budget, pool)
 	res := e.run(budget, obs, s.Name())
 	final := make([]schedule.Schedule, len(e.pop))
 	for i, st := range e.pop {

@@ -24,6 +24,7 @@ import (
 
 	"gridcma/internal/cma"
 	"gridcma/internal/etc"
+	"gridcma/internal/evalpool"
 	"gridcma/internal/run"
 	"gridcma/internal/schedule"
 )
@@ -89,8 +90,24 @@ func (s *Scheduler) Name() string { return fmt.Sprintf("IslandCMA(%d)", s.cfg.Is
 // interpreted per island (all islands advance in lockstep segments); a
 // time budget bounds the whole ensemble.
 func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer) run.Result {
+	return s.RunPooled(in, budget, seed, obs, nil)
+}
+
+// RunPooled is Run with a caller-supplied scratch pool (it implements
+// runner.PooledScheduler): every island's segment sub-cMA draws its
+// offspring workspaces from the shared pool instead of building a
+// private one per segment, so an island run allocates its scratch States
+// once instead of islands × segments times — and a batch sweep reuses
+// them across whole runs. The pool's Get/Put are safe for the islands'
+// concurrency, and sharing cannot affect results because a scratch is
+// never read before being overwritten. A nil pool, or one bound to a
+// different instance, falls back to a private pool.
+func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer, pool *evalpool.Pool) run.Result {
 	if !budget.Bounded() {
 		panic("island: unbounded budget")
+	}
+	if pool == nil || pool.Instance() != in {
+		pool = evalpool.New(in)
 	}
 	start := time.Now()
 	n := s.cfg.Islands
@@ -134,7 +151,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 				defer wg.Done()
 				// Per-island, per-segment deterministic seed.
 				islandSeed := seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15 ^ uint64(totalIters)*0xbf58476d1ce4e5b9
-				res, pop := s.inner.RunWithPopulation(in, segBudget, islandSeed, nil, pops[i])
+				res, pop := s.inner.RunWithPopulationPooled(in, segBudget, islandSeed, nil, pops[i], pool)
 				results[i] = res
 				pops[i] = pop
 			}(i)

@@ -6,6 +6,7 @@ import (
 
 	"gridcma/internal/cma"
 	"gridcma/internal/etc"
+	"gridcma/internal/evalpool"
 	"gridcma/internal/localsearch"
 	"gridcma/internal/run"
 	"gridcma/internal/schedule"
@@ -63,6 +64,42 @@ func TestRunImprovesAndIsValid(t *testing.T) {
 	seedFit := schedule.DefaultObjective.Evaluate(in, cma.DefaultConfig().SeedHeuristic(in))
 	if res.Fitness >= seedFit {
 		t.Errorf("fitness %v did not beat seed %v", res.Fitness, seedFit)
+	}
+}
+
+// TestRunPooledSharesPoolAndMatchesRun pins the pool-sharing contract:
+// running with a caller-supplied pool yields the exact schedule of a
+// plain Run (sharing never affects results), the pool ends up holding
+// the returned scratches for the next run, and a foreign-instance pool
+// is ignored rather than corrupting the run.
+func TestRunPooledSharesPoolAndMatchesRun(t *testing.T) {
+	in := testInstance()
+	s, err := New(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := run.Budget{MaxIterations: 10}
+	plain := s.Run(in, budget, 7, nil)
+
+	pool := evalpool.New(in)
+	pooled := s.RunPooled(in, budget, 7, nil, pool)
+	if !pooled.Best.Equal(plain.Best) || pooled.Fitness != plain.Fitness {
+		t.Fatal("RunPooled diverged from Run")
+	}
+	// The islands returned their scratches: a following run can reuse one
+	// without construction (observable as a non-nil immediate Get whose
+	// state is bound to in).
+	sc := pool.Get()
+	if sc == nil || sc.St.Instance() != in {
+		t.Fatal("pool did not retain the islands' scratches")
+	}
+	pool.Put(sc)
+
+	other := etc.Generate(etc.Class{}, 0, etc.GenerateOptions{Seed: 9, Jobs: 32, Machs: 4})
+	foreign := evalpool.New(other)
+	res := s.RunPooled(in, budget, 7, nil, foreign)
+	if !res.Best.Equal(plain.Best) {
+		t.Fatal("foreign-instance pool changed the result")
 	}
 }
 

@@ -7,11 +7,16 @@
 // Every method improves a live schedule.State in place, runs for a bounded
 // number of iterations (Table 1: nb_local_search_iterations = 5) and never
 // worsens the objective: each proposed step is applied only if it improves
-// the scalarised fitness. Candidates are scored with the speculative
-// probes (State.FitnessAfterMove / FitnessAfterSwap) — bit-identical to
-// apply→evaluate→revert but allocation-free and several times cheaper —
-// so the methods are probe-then-commit: only an accepted step mutates the
-// state.
+// the scalarised fitness. Candidates are scored speculatively — the batch
+// scans (SLM's all-targets transfer, LMCTS's critical-machine pairing) run
+// over the vector sweep kernels (State.FitnessAfterMoveSweep /
+// CompletionAfterSwapSweep), single candidates over the scalar probes —
+// all bit-identical to apply→evaluate→revert but allocation-free and
+// several times cheaper, so the methods are probe-then-commit: only an
+// accepted step mutates the state. Each method also threads the current
+// fitness through its loop (the probe contract guarantees the probe value
+// of a committed step equals the state's next fitness bit for bit), so
+// the accept baseline costs nothing per candidate.
 package localsearch
 
 import (
@@ -72,6 +77,7 @@ type LM struct{}
 // Improve implements Method.
 func (LM) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
 	in := st.Instance()
+	cur := o.Of(st)
 	for k := 0; k < iters; k++ {
 		j := r.Intn(in.Jobs)
 		to := r.Intn(in.Machs)
@@ -79,8 +85,9 @@ func (LM) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.So
 		if from == to {
 			continue
 		}
-		if st.FitnessAfterMove(o, j, to) < o.Of(st) {
+		if f := st.FitnessAfterMove(o, j, to); f < cur {
 			st.Move(j, to)
+			cur = f
 		}
 	}
 }
@@ -90,29 +97,33 @@ func (LM) Name() string { return "LM" }
 
 // SLM (Steepest Local Move) picks a random job and transfers it to the
 // machine yielding the best fitness among all targets, if that improves
-// on the current assignment. Each target is scored with one allocation-
-// free probe — M−1 probes per iteration instead of the 2(M−1) Moves the
-// apply+revert formulation paid — and only the winning transfer commits.
+// on the current assignment. All M targets are scored with one batched
+// sweep (State.FitnessAfterMoveSweep) — the source machine's removal
+// replay and tree query are paid once per iteration instead of once per
+// target — and only the winning transfer commits.
 type SLM struct{}
 
 // Improve implements Method.
 func (SLM) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
 	in := st.Instance()
+	cur := o.Of(st)
 	for k := 0; k < iters; k++ {
 		j := r.Intn(in.Jobs)
 		from := st.Assign(j)
-		bestFit := o.Of(st)
+		fits := st.FitnessAfterMoveSweep(o, j, nil)
+		bestFit := cur
 		bestTo := from
 		for to := 0; to < in.Machs; to++ {
 			if to == from {
 				continue
 			}
-			if f := st.FitnessAfterMove(o, j, to); f < bestFit {
+			if f := fits[to]; f < bestFit {
 				bestFit, bestTo = f, to
 			}
 		}
 		if bestTo != from {
 			st.Move(j, bestTo)
+			cur = bestFit
 		}
 	}
 }
@@ -130,10 +141,13 @@ type LMCTS struct{}
 
 // Improve implements Method.
 func (LMCTS) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
+	cur := o.Of(st)
 	for k := 0; k < iters; k++ {
-		if !bestCriticalSwap(st, o, 0, nil) {
+		f, ok := bestCriticalSwap(st, o, cur, 0, nil)
+		if !ok {
 			return // local optimum for this neighborhood
 		}
+		cur = f
 	}
 }
 
@@ -154,10 +168,13 @@ func (s SampledLMCTS) Improve(st *schedule.State, o schedule.Objective, iters in
 	if n <= 0 {
 		n = 64
 	}
+	cur := o.Of(st)
 	for k := 0; k < iters; k++ {
-		if !bestCriticalSwap(st, o, n, r) {
+		f, ok := bestCriticalSwap(st, o, cur, n, r)
+		if !ok {
 			return
 		}
+		cur = f
 	}
 }
 
@@ -165,62 +182,73 @@ func (s SampledLMCTS) Improve(st *schedule.State, o schedule.Objective, iters in
 func (s SampledLMCTS) Name() string { return "LMCTS-sampled" }
 
 // bestCriticalSwap performs one steepest swap step between the critical
-// machine and the rest. samples > 0 examines that many random partner jobs
-// per critical job (drawn from r, one at a time, so sampling allocates
-// nothing); samples == 0 scans all jobs. Returns whether a swap was
-// applied.
-func bestCriticalSwap(st *schedule.State, o schedule.Objective, samples int, r *rng.Source) bool {
+// machine and the rest, given the state's current fitness cur. samples > 0
+// examines that many random partner jobs per critical job (drawn from r,
+// one at a time, so sampling allocates nothing); samples == 0 scans all
+// jobs, batched machine by machine over CompletionAfterSwapSweep. Returns
+// the fitness after the step and whether a swap was applied.
+//
+// The historical full scan walked every partner job in ascending id order
+// with a strict-< fold, so among candidates tied on max(aC, bC) the first
+// critical job in SPT order won, and for that job the smallest partner id.
+// The batched scan reproduces that winner exactly: per critical job it
+// keeps the minimum with an explicit smallest-id tie-break across the
+// machine-grouped sweeps, then folds per-job minima strictly — pinned by
+// the tie-heavy trajectory differentials in localsearch_test.go.
+func bestCriticalSwap(st *schedule.State, o schedule.Objective, cur float64, samples int, r *rng.Source) (float64, bool) {
 	in := st.Instance()
 	crit := st.MakespanMachine()
 	critJobs := st.JobsOn(crit)
 	if len(critJobs) == 0 {
-		return false
+		return cur, false
 	}
 	critC := st.Completion(crit)
 
 	bestA, bestB := -1, -1
 	bestMax := critC // any accepted swap must reduce the critical completion pair
-	consider := func(a, b int) {
-		// a on critical machine, b elsewhere.
-		aC, bC := st.CompletionAfterSwap(a, b)
-		m := math.Max(aC, bC)
-		if m < bestMax {
-			bestMax, bestA, bestB = m, a, b
-		}
-	}
 
 	if samples <= 0 {
+		// The partner-side invariants are cached once per step
+		// (BeginSwapScan) and every critical job folds its best partner
+		// from the flat cache — the per-job minimum with the smallest-id
+		// tie-break, then a strict fold across critical jobs, reproduces
+		// the historical ascending-id scan's winner exactly.
+		scan := st.BeginSwapScan(crit)
 		for _, a := range critJobs {
-			for b := 0; b < in.Jobs; b++ {
-				if st.Assign(b) == crit {
-					continue
-				}
-				consider(int(a), b)
+			v, b := scan.BestPartner(int(a))
+			if b >= 0 && v < bestMax {
+				bestMax, bestA, bestB = v, int(a), b
 			}
 		}
 	} else {
 		for _, a := range critJobs {
 			for k := 0; k < samples; k++ {
+				// The candidate order is the RNG stream itself, so the
+				// sampled scan stays on the scalar pair query.
 				b := r.Intn(in.Jobs)
 				if st.Assign(b) == crit {
 					continue
 				}
-				consider(int(a), b)
+				aC, bC := st.CompletionAfterSwap(int(a), b)
+				if v := math.Max(aC, bC); v < bestMax {
+					bestMax, bestA, bestB = v, int(a), b
+				}
 			}
 		}
 	}
 	if bestA < 0 {
-		return false
+		return cur, false
 	}
 	// Completion improved; also require the scalarised fitness not to
 	// regress (flowtime could in principle degrade more than makespan
 	// gains). The probe answers that without applying the swap, so a
 	// rejected candidate costs no state churn at all.
-	if st.FitnessAfterSwap(o, bestA, bestB) >= o.Of(st) {
-		return false
+	f := st.FitnessAfterSwap(o, bestA, bestB)
+	if f >= cur {
+		return cur, false
 	}
 	st.Swap(bestA, bestB)
-	return true
+	return f, true
 }
 
 // Chain applies each method in sequence, splitting the iteration budget

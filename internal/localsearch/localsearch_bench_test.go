@@ -20,8 +20,9 @@ func benchState(b *testing.B) (*schedule.State, *rng.Source) {
 
 // slmApplyRevert is the pre-probe formulation of SLM, kept as the
 // benchmark reference: every candidate target costs two Moves (apply and
-// revert) plus two full fitness reads. BenchmarkSLMProbe vs
-// BenchmarkSLMApplyRevert is the headline number of the probe engine.
+// revert) plus two full fitness reads. BenchmarkSLMScalarProbe vs
+// BenchmarkSLMApplyRevert is the headline number of the probe engine;
+// BenchmarkSLMSweep stacks the sweep layer's gain on top.
 func slmApplyRevert(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
 	in := st.Instance()
 	for k := 0; k < iters; k++ {
@@ -45,17 +46,33 @@ func slmApplyRevert(st *schedule.State, o schedule.Objective, iters int, r *rng.
 	}
 }
 
-// BenchmarkSLMProbe measures one steepest-local-move iteration through
-// the speculative probe path (M−1 FitnessAfterMove probes, one committed
-// Move at most). Must report 0 allocs/op — CI runs it with -benchtime=1x
-// and fails otherwise.
-func BenchmarkSLMProbe(b *testing.B) {
+// BenchmarkSLMSweep measures one steepest-local-move iteration through
+// the batched sweep path (one FitnessAfterMoveSweep covering all M
+// targets, one committed Move at most) — the shipped SLM. Must report 0
+// allocs/op — CI runs every Probe/Sweep benchmark with -benchtime=1x and
+// fails otherwise. BenchmarkSLMSweep vs BenchmarkSLMScalarProbe is the
+// headline number of the sweep layer's move side.
+func BenchmarkSLMSweep(b *testing.B) {
+	st, r := benchState(b)
+	o := schedule.DefaultObjective
+	SLM{}.Improve(st, o, 1, r) // warm the state-owned sweep buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SLM{}.Improve(st, o, 1, r)
+	}
+}
+
+// BenchmarkSLMScalarProbe is the pre-sweep formulation (one scalar probe
+// per target, baseline re-read per iteration), kept as the reference the
+// sweep is measured against.
+func BenchmarkSLMScalarProbe(b *testing.B) {
 	st, r := benchState(b)
 	o := schedule.DefaultObjective
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		SLM{}.Improve(st, o, 1, r)
+		slmScalarProbe(st, o, 1, r)
 	}
 }
 
@@ -71,8 +88,10 @@ func BenchmarkSLMApplyRevert(b *testing.B) {
 	}
 }
 
-// BenchmarkLMCTSProbe measures one LMCTS steepest-swap step (critical-
-// machine scan, probe-gated commit) — the tuned method's hot loop.
+// BenchmarkLMCTSProbe measures one sampled LMCTS steepest-swap step
+// (critical-machine scan over random partners, probe-gated commit); the
+// sampled scan stays on the scalar pair query because its candidate
+// order is the RNG stream itself.
 func BenchmarkLMCTSProbe(b *testing.B) {
 	st, r := benchState(b)
 	o := schedule.DefaultObjective
@@ -80,5 +99,34 @@ func BenchmarkLMCTSProbe(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		SampledLMCTS{Samples: 64}.Improve(st, o, 1, r)
+	}
+}
+
+// BenchmarkLMCTSSweep measures one full-scan LMCTS step through the
+// batched swap sweeps (CompletionAfterSwapSweep per partner machine) —
+// the shipped full-neighborhood path. BenchmarkLMCTSSweep vs
+// BenchmarkLMCTSScalarScan is the headline number of the sweep layer's
+// swap side.
+func BenchmarkLMCTSSweep(b *testing.B) {
+	st, _ := benchState(b)
+	o := schedule.DefaultObjective
+	LMCTS{}.Improve(st, o, 1, nil) // warm the state-owned scan buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LMCTS{}.Improve(st, o, 1, nil)
+	}
+}
+
+// BenchmarkLMCTSScalarProbe is the pre-sweep full scan (every partner
+// job through the scalar pair query), kept as the reference the swap
+// sweep is measured against.
+func BenchmarkLMCTSScalarProbe(b *testing.B) {
+	st, _ := benchState(b)
+	o := schedule.DefaultObjective
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lmctsScalarScan(st, o, 1, nil)
 	}
 }

@@ -115,6 +115,13 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 		}
 	}
 	emit()
+	// Probe-then-commit over an amortised scan context: the context
+	// caches the top machine completions once per accepted move, so the
+	// many rejected proposals between commits probe in O(1) on the
+	// makespan side instead of walking the tournament tree each time.
+	// The context's probes are bit-identical to the scalar ones, so the
+	// Metropolis trajectory is unchanged.
+	scan := cur.BeginMoveScan(o)
 	for !budget.Done(iter, start) {
 		for k := 0; k < sweep; k++ {
 			j := r.Intn(in.Jobs)
@@ -122,10 +129,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 			if cur.Assign(j) == to {
 				continue
 			}
-			// Probe-then-commit: the speculative fitness decides the
-			// Metropolis test, and only accepted proposals touch the
-			// state — a rejection costs no Move/revert pair.
-			f := cur.FitnessAfterMove(o, j, to)
+			f := scan.FitnessAfterMove(j, to)
 			evals++
 			accept := f <= curFit
 			if !accept && temp > 0 {
@@ -135,6 +139,7 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 				cur.Move(j, to)
 				curFit = f
 				best.Note(cur, f)
+				scan = cur.BeginMoveScan(o)
 			}
 		}
 		temp *= s.cfg.Cooling

@@ -92,6 +92,18 @@ func (t *maxTree) argmax() int { return int(t.win[1]) }
 // maxExcluding returns the largest value among leaves other than i, or
 // -Inf when no other leaf exists.
 func (t *maxTree) maxExcluding(i int) float64 {
+	v, _ := t.maxExcludingArg(i)
+	return v
+}
+
+// maxExcludingArg is maxExcluding reporting a witness: the largest value
+// among leaves other than i together with a leaf attaining it, or
+// (-Inf, -1) when no other leaf exists. Among tied leaves the reported
+// index is unspecified — callers (the sweep layer's top-completion cache,
+// sweep.go) use it only to exclude that leaf from a further query, which
+// any tied witness serves equally because the excluded value survives at
+// the other tied leaves.
+func (t *maxTree) maxExcludingArg(i int) (float64, int) {
 	best := int32(-1)
 	for v := t.base + i; v > 1; v >>= 1 {
 		if w := t.win[v^1]; w >= 0 && (best < 0 || t.val[w] > t.val[best]) {
@@ -99,9 +111,9 @@ func (t *maxTree) maxExcluding(i int) float64 {
 		}
 	}
 	if best < 0 {
-		return math.Inf(-1)
+		return math.Inf(-1), -1
 	}
-	return t.val[best]
+	return t.val[best], int(best)
 }
 
 // maxExcluding2 returns the largest value among leaves other than i and

@@ -52,6 +52,17 @@ func TestMaxTreeRandomised(t *testing.T) {
 				t.Fatalf("n=%d step=%d: maxExcluding(%d) = %v, want %v",
 					n, step, ex, tr.maxExcluding(ex), got)
 			}
+			// The witness variant must agree on the value, and its witness
+			// must attain that value (any tied leaf is a valid witness).
+			if gotV, gotArg := tr.maxExcludingArg(ex); gotV != tr.maxExcluding(ex) {
+				t.Fatalf("n=%d step=%d: maxExcludingArg(%d) value %v, maxExcluding %v",
+					n, step, ex, gotV, tr.maxExcluding(ex))
+			} else if gotArg >= 0 && (gotArg == ex || vals[gotArg] != gotV) {
+				t.Fatalf("n=%d step=%d: maxExcludingArg(%d) witness %d invalid (val %v, want %v)",
+					n, step, ex, gotArg, vals[gotArg], gotV)
+			} else if gotArg < 0 && n > 1 {
+				t.Fatalf("n=%d step=%d: maxExcludingArg(%d) reported no witness", n, step, ex)
+			}
 			if n > 1 {
 				ex2 := (ex + 1 + r.Intn(n-1)) % n
 				if got, _ := scanMax(vals, ex, ex2); tr.maxExcluding2(ex, ex2) != got {

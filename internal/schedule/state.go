@@ -37,6 +37,16 @@ type State struct {
 	machFlow   []float64
 	flowtime   float64
 	top        maxTree // argmax over completion, O(log M) maintenance
+
+	// Output buffers of the batched sweep kernels (sweep.go), owned by
+	// the state so the stateless search methods stay allocation-free.
+	// Pure scratch: lazily grown, never read across calls, not part of
+	// the state's value (Clone starts them empty, CopyFrom leaves them
+	// alone).
+	sweepFit []float64
+	sweepA   []float64
+	sweepB   []float64
+	swapScan SwapScan
 }
 
 // NewState evaluates s against in. The schedule is copied; the State owns

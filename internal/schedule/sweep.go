@@ -1,0 +1,299 @@
+package schedule
+
+import "math"
+
+// Batched neighborhood sweeps: vector counterparts of the scalar
+// speculative probes (probe.go). Where a probe answers "what fitness
+// would this one candidate produce?", a sweep answers the question for a
+// whole family of related candidates in one pass, amortising the work the
+// scalar path redoes per candidate:
+//
+//   - FitnessAfterMoveSweep scores moving one job to *every* machine. The
+//     removal half of the probe (completionFlowWithout on the source
+//     machine) and the "max completion excluding the source" tree query
+//     are computed once and reused across all M targets, instead of once
+//     per target — the steepest local move (SLM) scans exactly this
+//     neighborhood.
+//   - CompletionAfterSwapSweep emits the post-swap completion pair for
+//     swapping one job against *every* job of a partner machine in a
+//     single scan of that machine's list, hoisting the per-pair removal
+//     terms out of the loop — the LMCTS critical-machine scan is a fold
+//     over these sweeps.
+//   - MoveScan caches the top machine completions of a frozen state so a
+//     batch of unrelated move probes (SA sweeps, tabu candidate scans)
+//     skips the per-probe tournament-tree walks.
+//
+// Every sweep inherits the probes' bit-identity contract: each emitted
+// value equals, bit for bit, the scalar probe for the same candidate —
+// and therefore the historical apply→evaluate→revert number. The
+// differential fuzz tests in sweep_test.go pin this, including exact-tie
+// and no-op edges, and testdata/golden.json locks that no engine's accept
+// decisions moved.
+//
+// The one inequality the move sweep relies on: replacing the tree query
+// "max excluding {from, to}" by "max excluding {from}" folded with the
+// hypothetical target completion toC is exact, because ETC values are
+// non-negative and float64 addition is monotone under rounding — so toC,
+// the replayed completion of machine to with the job spliced in, is >=
+// completion[to], and the set maximum cannot change when completion[to]
+// rejoins the set. (etc.Instance.Validate rejects non-positive ETC
+// entries.)
+
+// grown returns buf resized to n, reallocating only on growth — the
+// steady-state path of every sweep is allocation-free.
+func grown(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// FitnessAfterMoveSweep computes FitnessAfterMove(o, j, to) for every
+// target machine to in one pass, writing out[to] for to in [0, Machs).
+// out[Assign(j)] is the current fitness (the no-op move). A nil out uses
+// a buffer owned by the state (valid until the next sweep on it); an
+// explicit out must have length >= Machs. The filled prefix is returned.
+//
+// Cost: one removal replay of the source machine plus one tree walk,
+// shared by all targets, and one insertion replay per target — versus the
+// scalar path's per-target removal replay, insertion replay and tree
+// walk. Allocation-free after warm-up.
+func (st *State) FitnessAfterMoveSweep(o Objective, j int, out []float64) []float64 {
+	machs := st.inst.Machs
+	if out == nil {
+		st.sweepFit = grown(st.sweepFit, machs)
+		out = st.sweepFit
+	} else {
+		out = out[:machs]
+	}
+	from := st.assign[j]
+	cur := o.Of(st)
+	fromC, fromFlow := st.completionFlowWithout(from, int32(j))
+	// Shared makespan base: max completion excluding the source machine,
+	// folded with the source's hypothetical completion. Per target only
+	// toC remains to fold in (see the monotonicity note above).
+	base := st.top.maxExcluding(from)
+	if fromC > base {
+		base = fromC
+	}
+	denom := float64(machs)
+	remFlow := st.machFlow[from]
+	for to := 0; to < machs; to++ {
+		if to == from {
+			out[to] = cur
+			continue
+		}
+		toC, toFlow := st.completionFlowWith(to, int32(j))
+		mk := base
+		if toC > mk {
+			mk = toC
+		}
+		if mk < 0 {
+			mk = 0
+		}
+		// Exact replica of the scalar probe's flow composition.
+		f := st.flowtime - (remFlow + st.machFlow[to])
+		f += fromFlow + toFlow
+		out[to] = o.Combine(mk, f/denom)
+	}
+	return out
+}
+
+// CompletionAfterSwapSweep computes CompletionAfterSwap(a, b) for every
+// job b on machine m — the completions machine(a) and machine m would
+// have after exchanging a and b — in one scan of m's job list. aOut[k]
+// and bOut[k] are the pair for the job at slot k of JobsOn(m). Nil output
+// slices use buffers owned by the state (valid until the next swap sweep
+// on it); explicit slices must have length >= len(JobsOn(m)). The filled
+// prefixes are returned. Requires a not to be on m.
+//
+// The removal terms of both machines are hoisted out of the loop, so each
+// slot costs two ETC loads and two additions — the scalar per-pair call
+// re-derives the hoisted terms every time. Allocation-free after warm-up.
+func (st *State) CompletionAfterSwapSweep(a, m int, aOut, bOut []float64) ([]float64, []float64) {
+	ma := st.assign[a]
+	if ma == m {
+		panic("schedule: CompletionAfterSwapSweep with a on m")
+	}
+	jobs := st.machJobs[m]
+	n := len(jobs)
+	if aOut == nil {
+		st.sweepA = grown(st.sweepA, n)
+		aOut = st.sweepA
+	} else {
+		aOut = aOut[:n]
+	}
+	if bOut == nil {
+		st.sweepB = grown(st.sweepB, n)
+		bOut = st.sweepB
+	} else {
+		bOut = bOut[:n]
+	}
+	etc := st.inst.ETC
+	machs := st.inst.Machs
+	caBase := st.completion[ma] - st.inst.At(a, ma) // machine(a) minus a, shared by every partner
+	w := st.inst.At(a, m)                           // a's cost on m, shared by every partner
+	cm := st.completion[m]
+	for k, b := range jobs {
+		row := int(b) * machs
+		aOut[k] = caBase + etc[row+ma]
+		bOut[k] = (cm - etc[row+m]) + w
+	}
+	return aOut, bOut
+}
+
+// SwapScan is a frozen-state batch for critical-machine swap scans — the
+// LMCTS neighborhood, which pairs every job of the critical machine with
+// every job elsewhere. BeginSwapScan walks the non-critical machines once
+// and caches, machine-grouped, the partner-side invariants of the
+// completion pair CompletionAfterSwap reports: u[k], the partner's cost
+// on the critical machine, and v[k], the partner machine's completion
+// with the partner removed. BestPartner then scans those flat arrays per
+// critical job — no gather loads, two additions and a max per candidate —
+// where the scalar scan re-derived both terms from the ETC matrix for
+// every (critical job, partner) pair. The scan is invalidated by any
+// mutation of the state; begin a fresh one after committing a swap.
+type SwapScan struct {
+	st   *State
+	crit int
+	u    []float64 // ETC[b_k][crit]: partner k's cost on the critical machine
+	v    []float64 // completion[m_k] − ETC[b_k][m_k]: partner k's machine without it
+	ids  []int32   // partner job ids, machine-grouped
+	segM []int32   // machine of each group
+	off  []int32   // group s covers ids[off[s]:off[s+1]]
+}
+
+// BeginSwapScan captures the partner-side swap invariants against the
+// critical machine crit. One pass over every non-critical job;
+// allocation-free after warm-up (the scan is owned by the state).
+func (st *State) BeginSwapScan(crit int) *SwapScan {
+	ss := &st.swapScan
+	ss.st, ss.crit = st, crit
+	machs := st.inst.Machs
+	etcs := st.inst.ETC
+	u, v := ss.u[:0], ss.v[:0]
+	ids := ss.ids[:0]
+	segM, off := ss.segM[:0], ss.off[:0]
+	for m := 0; m < machs; m++ {
+		if m == crit {
+			continue
+		}
+		jobs := st.machJobs[m]
+		if len(jobs) == 0 {
+			continue
+		}
+		segM = append(segM, int32(m))
+		off = append(off, int32(len(ids)))
+		cm := st.completion[m]
+		for _, b := range jobs {
+			row := int(b) * machs
+			u = append(u, etcs[row+crit])
+			v = append(v, cm-etcs[row+m])
+			ids = append(ids, b)
+		}
+	}
+	off = append(off, int32(len(ids)))
+	ss.u, ss.v, ss.ids, ss.segM, ss.off = u, v, ids, segM, off
+	return ss
+}
+
+// BestPartner returns, for critical job a, the minimum over all partner
+// jobs b of max(aC, bC) — the completion pair CompletionAfterSwap(a, b)
+// reports — together with the partner attaining it (-1 when no partner
+// exists). Among exact ties the smallest partner id wins, which
+// reproduces the historical ascending-id scalar scan's strict-< fold bit
+// for bit. Each emitted pair equals the scalar query's values exactly;
+// only the max is folded with a plain comparison, whose sole divergence
+// from math.Max (the sign of a zero when both halves are zeros) cannot
+// affect any comparison downstream.
+func (ss *SwapScan) BestPartner(a int) (float64, int) {
+	st := ss.st
+	machs := st.inst.Machs
+	aRow := st.inst.ETC[a*machs : a*machs+machs]
+	ca := st.completion[ss.crit] - aRow[ss.crit]
+	best, bestB := math.Inf(1), -1
+	u, v, ids := ss.u, ss.v, ss.ids
+	for s, m := range ss.segM {
+		w := aRow[m]
+		for k := ss.off[s]; k < ss.off[s+1]; k++ {
+			x := ca + u[k]
+			if y := v[k] + w; y > x {
+				x = y
+			}
+			if x < best || (x == best && int(ids[k]) < bestB) {
+				best, bestB = x, int(ids[k])
+			}
+		}
+	}
+	return best, bestB
+}
+
+// MoveScan is a frozen-state batch of move probes: it caches the current
+// fitness and the top three machine completions, so each probe answers
+// the "max completion excluding the two touched machines" query from the
+// cache in O(1) instead of walking the tournament tree. Build one with
+// BeginMoveScan, probe with FitnessAfterMove; the scan is invalidated by
+// any mutation of the state (Move, Swap, SetSchedule, CopyFrom) — begin a
+// fresh one after committing. SA and tabu search amortise one scan over
+// every candidate of a sweep or step.
+type MoveScan struct {
+	st         *State
+	o          Objective
+	cur        float64
+	v1, v2, v3 float64
+	i1, i2     int
+}
+
+// BeginMoveScan captures the probe context of the state's current value.
+// O(log M).
+func (st *State) BeginMoveScan(o Objective) MoveScan {
+	ms := MoveScan{st: st, o: o, cur: o.Of(st)}
+	ms.v1 = st.top.max()
+	ms.i1 = st.top.argmax()
+	ms.v2, ms.i2 = st.top.maxExcludingArg(ms.i1)
+	if ms.i2 >= 0 {
+		ms.v3 = st.top.maxExcluding2(ms.i1, ms.i2)
+	} else {
+		ms.v3 = math.Inf(-1)
+	}
+	return ms
+}
+
+// maxExcluding2 answers the tree query of the same name from the cached
+// top completions. At most two machines are excluded, so the third-best
+// value is always a valid floor; ties are value-exact because a tied
+// maximum excluded by index survives at its other witnesses.
+func (ms *MoveScan) maxExcluding2(i, j int) float64 {
+	if ms.i1 != i && ms.i1 != j {
+		return ms.v1
+	}
+	if ms.i2 >= 0 && ms.i2 != i && ms.i2 != j {
+		return ms.v2
+	}
+	return ms.v3
+}
+
+// FitnessAfterMove is State.FitnessAfterMove evaluated against the scan's
+// frozen state — bit-identical, with the tree walk served from the cache.
+func (ms *MoveScan) FitnessAfterMove(j, to int) float64 {
+	st := ms.st
+	from := st.assign[j]
+	if from == to {
+		return ms.cur
+	}
+	fromC, fromFlow := st.completionFlowWithout(from, int32(j))
+	toC, toFlow := st.completionFlowWith(to, int32(j))
+	mk := ms.maxExcluding2(from, to)
+	if fromC > mk {
+		mk = fromC
+	}
+	if toC > mk {
+		mk = toC
+	}
+	if mk < 0 {
+		mk = 0
+	}
+	f := st.flowtime - (st.machFlow[from] + st.machFlow[to])
+	f += fromFlow + toFlow
+	return ms.o.Combine(mk, f/float64(st.inst.Machs))
+}

@@ -114,15 +114,18 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 	for !budget.Done(iter, start) {
 		bestJ, bestTo := -1, -1
 		bestF := 0.0
+		// One amortised scan context serves the whole candidate batch:
+		// the state is frozen for the step, so the context's cached top
+		// completions answer every probe's tree query in O(1). The
+		// probes stay bit-identical to the scalar path.
+		scan := cur.BeginMoveScan(o)
 		for k := 0; k < samples; k++ {
 			j := r.Intn(in.Jobs)
 			to := r.Intn(in.Machs)
 			if cur.Assign(j) == to {
 				continue
 			}
-			// Candidates are scored with the speculative probe; only the
-			// chosen move below mutates the state.
-			f := cur.FitnessAfterMove(o, j, to)
+			f := scan.FitnessAfterMove(j, to)
 			evals++
 			tabu := tabuUntil[j*in.Machs+to] > iter
 			if tabu && f >= best.Fitness() { // aspiration only on global improvement

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"gridcma/internal/cma"
+	"gridcma/internal/evalpool"
 	"gridcma/internal/ga"
 	"gridcma/internal/island"
 )
@@ -99,6 +100,19 @@ func (w *withDefaults) Run(ctx context.Context, in *Instance, opts ...RunOption)
 	merged := make([]RunOption, 0, len(w.defaults)+len(opts))
 	merged = append(merged, w.defaults...)
 	merged = append(merged, opts...)
+	return w.Scheduler.Run(ctx, in, merged...)
+}
+
+// runPooled forwards the pooledRunner extension (batch.go) through the
+// defaults layer, so a registry scheduler built with default options
+// still shares the batch executor's per-instance scratch pool.
+func (w *withDefaults) runPooled(ctx context.Context, in *Instance, pool *evalpool.Pool, opts ...RunOption) (Result, error) {
+	merged := make([]RunOption, 0, len(w.defaults)+len(opts))
+	merged = append(merged, w.defaults...)
+	merged = append(merged, opts...)
+	if pr, ok := w.Scheduler.(pooledRunner); ok {
+		return pr.runPooled(ctx, in, pool, merged...)
+	}
 	return w.Scheduler.Run(ctx, in, merged...)
 }
 
