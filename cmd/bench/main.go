@@ -7,6 +7,7 @@
 //	bench -quick          # CI smoke: tiny budgets, small matrix
 //	bench -workers 1,4,8  # explicit worker ladder for the parallel rows
 //	bench -out results/   # artifact directory
+//	bench -algos cma,cached-scan  # row filter (cheap CI subsets)
 //
 // Every row is one engine run at a fixed iteration budget: the sequential
 // cMA, the block-parallel cMA at each requested worker count (same seed —
@@ -67,6 +68,11 @@ type Row struct {
 	// scan) / wall-clock(sweep): how many times the batched sweep kernel
 	// beats the per-candidate scalar probes over the same neighborhoods.
 	SweepSpeedup float64 `json:"sweep_speedup,omitempty"`
+	// CachedSpeedup, on the cached-swap-scan row, is wall-clock(sweep
+	// scan) / wall-clock(cached): how many times the event-driven scan
+	// cache beats re-sweeping the same critical neighborhoods from
+	// scratch under the same commit churn.
+	CachedSpeedup float64 `json:"cached_speedup,omitempty"`
 }
 
 // Report is the BENCH_*.json schema.
@@ -95,6 +101,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "RNG seed shared by every run")
 		workers = flag.String("workers", "", "comma-separated worker ladder for cma-par (default 1,GOMAXPROCS)")
 		grid    = flag.String("grid", "8x8", "population grid WxH of the measured cMA engines")
+		algos   = flag.String("algos", "", "comma-separated row filter (default all): engine names cma, cma-par, cma-sync, sampled-lmcts-batch, sa-sweep, tabu-sweep and micro groups probes, sweeps, cached-scan")
 	)
 	flag.Parse()
 
@@ -107,6 +114,10 @@ func main() {
 		fatal(err)
 	}
 	gw, gh, err := parseGrid(*grid)
+	if err != nil {
+		fatal(err)
+	}
+	allow, err := parseAlgos(*algos)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,41 +140,60 @@ func main() {
 		fmt.Printf("instance %s (%d×%d)\n", spec.name, spec.jobs, spec.machs)
 
 		// Sequential asynchronous engine (the paper's algorithm).
-		seqRow, _ := measure(spec, "cma", 0, gw, gh, iterations, *seed)
-		rep.Rows = append(rep.Rows, seqRow)
+		if allow("cma") {
+			seqRow, _ := measure(spec, "cma", 0, gw, gh, iterations, *seed)
+			rep.Rows = append(rep.Rows, seqRow)
+		}
 
 		// Block-parallel ladder; workers=1 is the reference for speedup
 		// and for the determinism re-check.
-		var ref *Row
-		var refBest gridcma.Schedule
-		for _, w := range ladder {
-			row, best := measure(spec, "cma-par", w, gw, gh, iterations, *seed)
-			if ref == nil {
-				ref, refBest = &row, best
-			} else {
-				row.SpeedupVs1 = ref.Seconds / row.Seconds
-				row.IdenticalTo1 = best.Equal(refBest)
-				if !row.IdenticalTo1 {
-					fmt.Fprintf(os.Stderr, "bench: WARNING: cma-par workers=%d diverged from workers=1 on %s\n", w, spec.name)
+		if allow("cma-par") {
+			var ref *Row
+			var refBest gridcma.Schedule
+			for _, w := range ladder {
+				row, best := measure(spec, "cma-par", w, gw, gh, iterations, *seed)
+				if ref == nil {
+					ref, refBest = &row, best
+				} else {
+					row.SpeedupVs1 = ref.Seconds / row.Seconds
+					row.IdenticalTo1 = best.Equal(refBest)
+					if !row.IdenticalTo1 {
+						fmt.Fprintf(os.Stderr, "bench: WARNING: cma-par workers=%d diverged from workers=1 on %s\n", w, spec.name)
+					}
 				}
+				rep.Rows = append(rep.Rows, row)
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
 
 		// Synchronous engine at the widest rung.
-		syncRow, _ := measure(spec, "cma-sync", ladder[len(ladder)-1], gw, gh, iterations, *seed)
-		rep.Rows = append(rep.Rows, syncRow)
+		if allow("cma-sync") {
+			syncRow, _ := measure(spec, "cma-sync", ladder[len(ladder)-1], gw, gh, iterations, *seed)
+			rep.Rows = append(rep.Rows, syncRow)
+		}
+
+		// The sweep-native search variants (PR 5), run through the public
+		// registry under their frozen-trajectory-preserving new names.
+		for _, name := range []string{"sampled-lmcts-batch", "sa-sweep", "tabu-sweep"} {
+			if allow(name) {
+				rep.Rows = append(rep.Rows, measureNamed(spec, name, iterations, *seed))
+			}
+		}
 
 		// Probe vs scratch micro rows: the same random candidate moves,
 		// evaluated once through the speculative probe and once through
 		// apply+revert.
-		rep.Rows = append(rep.Rows, measureProbes(spec, *seed, *quick)...)
+		if allow("probes") {
+			rep.Rows = append(rep.Rows, measureProbes(spec, *seed, *quick)...)
+		}
 
 		// Sweep vs scalar-probe micro rows: the same neighborhoods (all
 		// move targets of a job; all critical swap partners), evaluated
 		// once per candidate through the scalar probes and once through
-		// the batched sweep kernels.
-		rep.Rows = append(rep.Rows, measureSweeps(spec, *seed, *quick)...)
+		// the batched sweep kernels; the swap side adds the event-driven
+		// cached-scan row (cached vs sweep vs scalar).
+		if allow("sweeps") || allow("cached-scan") {
+			rep.Rows = append(rep.Rows, measureSweeps(spec, *seed, *quick, allow)...)
+		}
 	}
 
 	path := filepath.Join(*out, "BENCH_"+*label+".json")
@@ -235,6 +265,47 @@ func measure(spec instanceSpec, alg string, workers, gw, gh, iterations int, see
 	return row, res.Best
 }
 
+// measureNamed runs one registry algorithm by name at the shared budget
+// and emits its row — the path of the sweep-native variants, which are
+// configured entirely by their registry entries.
+func measureNamed(spec instanceSpec, name string, iterations int, seed uint64) Row {
+	sched, err := gridcma.New(name)
+	if err != nil {
+		fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := sched.Run(nil, spec.in,
+		gridcma.WithMaxIterations(iterations), gridcma.WithSeed(seed))
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		fatal(err)
+	}
+	row := Row{
+		Instance:   spec.name,
+		Jobs:       spec.jobs,
+		Machs:      spec.machs,
+		Algorithm:  name,
+		Iterations: res.Iterations,
+		Seconds:    elapsed.Seconds(),
+		Makespan:   res.Makespan,
+		Flowtime:   res.Flowtime,
+		Fitness:    res.Fitness,
+		Evals:      res.Evals,
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}
+	if elapsed > 0 {
+		row.EvalsPerSec = float64(res.Evals) / elapsed.Seconds()
+	}
+	fmt.Printf("  %-20s workers=%-2d %8.3fs  makespan %12.1f  evals/s %8.1f  allocs %d\n",
+		row.Algorithm, 0, row.Seconds, row.Makespan, row.EvalsPerSec, row.Allocs)
+	return row
+}
+
 // measureProbes times the speculative probe path against the historical
 // apply+revert path on the same sequence of random candidate moves, and
 // emits one row per path. The probe row's ProbeSpeedup column is the
@@ -295,8 +366,11 @@ func measureProbes(spec instanceSpec, seed uint64, quick bool) []Row {
 // measureSweeps times the batched sweep kernels against the scalar-probe
 // scans they replaced, over identical candidate neighborhoods, and emits
 // one row per path. The sweep rows' SweepSpeedup column is the headline
-// number of the batched evaluation layer.
-func measureSweeps(spec instanceSpec, seed uint64, quick bool) []Row {
+// number of the batched evaluation layer; the swap side adds the
+// event-driven cached scan (same neighborhoods, same commit churn) whose
+// CachedSpeedup column is the headline number of the dirty-machine delta
+// engine.
+func measureSweeps(spec instanceSpec, seed uint64, quick bool, allow func(string) bool) []Row {
 	moveScans, swapScans := 20000, 1000
 	if quick {
 		moveScans, swapScans = 2000, 100
@@ -351,14 +425,16 @@ func measureSweeps(spec instanceSpec, seed uint64, quick bool) []Row {
 	}
 
 	// Swap side: the full LMCTS critical scan — every critical job against
-	// every partner job — scalar pair queries vs the step-level swap scan.
-	swapRun := func(sweep bool) (Row, float64) {
+	// every partner job — scalar pair queries vs the step-level swap scan
+	// vs the event-driven cached scan. All three modes walk the same
+	// churn stream (one committed random move between scans), so the
+	// cached mode answers each step's scan from its memo after re-sweeping
+	// only the machines that move dirtied.
+	swapRun := func(mode string) (Row, float64) {
 		r := rng.New(seed)
 		st := schedule.NewState(spec.in, schedule.NewRandom(spec.in, r))
-		alg := "probe-swap-scan"
-		if sweep {
-			alg = "sweep-swap-scan"
-		}
+		sc := st.Scans(o)
+		alg := mode + "-swap-scan"
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
@@ -368,13 +444,17 @@ func measureSweeps(spec instanceSpec, seed uint64, quick bool) []Row {
 		for i := 0; i < swapScans; i++ {
 			crit := st.MakespanMachine()
 			critJobs := st.JobsOn(crit)
-			if sweep {
+			switch mode {
+			case "cached":
+				v, _, _ := sc.BestCriticalSwap()
+				sink += v
+			case "sweep":
 				scan := st.BeginSwapScan(crit)
 				for _, a := range critJobs {
 					v, _ := scan.BestPartner(int(a))
 					sink += v
 				}
-			} else {
+			default: // probe
 				for _, a := range critJobs {
 					for b := 0; b < spec.in.Jobs; b++ {
 						if st.Assign(b) == crit {
@@ -389,7 +469,7 @@ func measureSweeps(spec instanceSpec, seed uint64, quick bool) []Row {
 				}
 			}
 			evals += int64(len(critJobs)) * int64(spec.in.Jobs-len(critJobs))
-			// Churn the state (same stream on both paths) so successive
+			// Churn the state (same stream on every path) so successive
 			// scans see fresh critical machines.
 			st.Move(r.Intn(spec.in.Jobs), r.Intn(spec.in.Machs))
 		}
@@ -399,20 +479,80 @@ func measureSweeps(spec instanceSpec, seed uint64, quick bool) []Row {
 		return row(alg, evals, elapsed, &before, &after), elapsed.Seconds()
 	}
 
-	out := make([]Row, 0, 4)
-	for _, kernel := range []func(bool) (Row, float64){moveRun, swapRun} {
-		scalarRow, scalarSec := kernel(false)
-		sweepRow, sweepSec := kernel(true)
+	printScalar := func(r Row) {
+		fmt.Printf("  %-15s %8.3fs  evals/s %12.1f\n", r.Algorithm, r.Seconds, r.EvalsPerSec)
+	}
+	printSped := func(r Row, speedup float64) {
+		fmt.Printf("  %-15s %8.3fs  evals/s %12.1f  speedup %.2fx  allocs %d\n",
+			r.Algorithm, r.Seconds, r.EvalsPerSec, speedup, r.Allocs)
+	}
+
+	out := make([]Row, 0, 5)
+	if allow("sweeps") {
+		scalarRow, scalarSec := moveRun(false)
+		sweepRow, sweepSec := moveRun(true)
 		if sweepSec > 0 {
 			sweepRow.SweepSpeedup = scalarSec / sweepSec
 		}
-		fmt.Printf("  %-15s %8.3fs  evals/s %12.1f\n",
-			scalarRow.Algorithm, scalarRow.Seconds, scalarRow.EvalsPerSec)
-		fmt.Printf("  %-15s %8.3fs  evals/s %12.1f  speedup %.2fx  allocs %d\n",
-			sweepRow.Algorithm, sweepRow.Seconds, sweepRow.EvalsPerSec, sweepRow.SweepSpeedup, sweepRow.Allocs)
+		printScalar(scalarRow)
+		printSped(sweepRow, sweepRow.SweepSpeedup)
 		out = append(out, scalarRow, sweepRow)
 	}
-	return out
+	// The sweep swap row runs whenever either group wants it — it is both
+	// a "sweeps" row and the baseline the cached row's speedup column is
+	// defined against (same churn stream). The scalar swap row — the
+	// slowest micro row by far — runs only for "sweeps", where its
+	// SweepSpeedup baseline is actually reported.
+	if allow("sweeps") {
+		scalarRow, scalarSec := swapRun("probe")
+		printScalar(scalarRow)
+		out = append(out, scalarRow)
+		sweepRow, sweepSec := swapRun("sweep")
+		if sweepSec > 0 {
+			sweepRow.SweepSpeedup = scalarSec / sweepSec
+		}
+		printSped(sweepRow, sweepRow.SweepSpeedup)
+		out = append(out, sweepRow)
+		if allow("cached-scan") {
+			cachedRow, cachedSec := swapRun("cached")
+			if cachedSec > 0 {
+				cachedRow.CachedSpeedup = sweepSec / cachedSec
+			}
+			printSped(cachedRow, cachedRow.CachedSpeedup)
+			out = append(out, cachedRow)
+		}
+		return out
+	}
+	sweepRow, sweepSec := swapRun("sweep")
+	printScalar(sweepRow) // no scalar baseline ran, so no speedup column
+	out = append(out, sweepRow)
+	cachedRow, cachedSec := swapRun("cached")
+	if cachedSec > 0 {
+		cachedRow.CachedSpeedup = sweepSec / cachedSec
+	}
+	printSped(cachedRow, cachedRow.CachedSpeedup)
+	return append(out, cachedRow)
+}
+
+// parseAlgos builds the row filter: nil/empty selects everything.
+func parseAlgos(s string) (func(string) bool, error) {
+	if strings.TrimSpace(s) == "" {
+		return func(string) bool { return true }, nil
+	}
+	known := map[string]bool{
+		"cma": true, "cma-par": true, "cma-sync": true,
+		"sampled-lmcts-batch": true, "sa-sweep": true, "tabu-sweep": true,
+		"probes": true, "sweeps": true, "cached-scan": true,
+	}
+	set := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if !known[name] {
+			return nil, fmt.Errorf("bench: unknown -algos entry %q", name)
+		}
+		set[name] = true
+	}
+	return func(name string) bool { return set[name] }, nil
 }
 
 func buildInstances(quick bool) ([]instanceSpec, error) {

@@ -63,9 +63,9 @@
 // returns its best-so-far schedule together with ctx.Err(). A run with no
 // budget option and no context deadline fails with ErrUnbounded.
 //
-// # Evaluation: scratch, incremental, probe and sweep
+// # Evaluation: scratch, incremental, probe, sweep and cached scan
 //
-// The evaluation layer (internal/schedule) works at four temperatures.
+// The evaluation layer (internal/schedule) works at five temperatures.
 // Scratch evaluation (Objective.Evaluate, NewState, State.SetSchedule)
 // rebuilds everything from a genotype — the entry point for crossover
 // offspring and external schedules. Incremental evaluation (State.Move,
@@ -83,17 +83,36 @@
 // (BeginSwapScan/BestPartner) emit the post-swap completions of one job
 // against every partner in single list scans, and BeginMoveScan caches
 // the top completions so batches of unrelated probes skip the per-probe
-// tree walks. Every sweep value equals its scalar probe bit for bit. The
-// local searches (LM, SLM, LMCTS), SA and tabu search score candidates
-// with sweeps where the neighborhood has batch structure and scalar
-// probes elsewhere, and commit only accepted steps — their hot loops
+// tree walks. Every sweep value equals its scalar probe bit for bit.
+// Cached-scan evaluation (State.Scans → ScanCache) is the event-driven
+// delta layer on top: commits stamp their two machines with fresh epochs
+// and log them in a commit-time dirty set (plus the old and new critical
+// machine when the tournament tree's root moves), and the cache memoizes
+// each machine's scan result so a query re-sweeps only the machines that
+// changed and folds the rest from the memo — O(changed) per iteration
+// instead of O(M) machines, bit-identical to a full rescan, collapsing
+// steady-state LMCTS scans by orders of magnitude. The local searches
+// (LM, SLM, LMCTS), SA and tabu search score candidates with the hottest
+// applicable mode and commit only accepted steps — their hot loops
 // allocate nothing and run several times faster than the historical
-// apply+revert formulation (and 2–3× faster again than per-candidate
-// scalar probing).
+// apply+revert formulation. Search loops drain the dirty set before
+// handing a state back (State.SyncScans), so pooled states never carry
+// pending invalidation events across runs — CI checks this with the
+// schedule package's dirty audit across every registered algorithm.
 //
 // MakespanMachine ties break toward the lowest machine index — a
 // documented contract (LMCTS derives its critical machine from it),
 // pinned by a regression test.
+//
+// # Trajectory compatibility
+//
+// A registry name pins an exact search trajectory: same instance, seed
+// and budget always reproduce the same schedule, byte for byte
+// (testdata/golden.json). Evaluation-path rewrites ship only when
+// provably behavior-preserving; candidate-stream reorderings ship as new
+// names — sampled-lmcts-batch (upfront machine-grouped partner pool),
+// sa-sweep and tabu-sweep (per-machine proposal distributions over
+// FitnessAfterMoveSweep) — so the frozen names' trajectories never move.
 //
 // # Batch execution and portfolio racing
 //

@@ -62,7 +62,7 @@ func goldenRuns(t *testing.T) []goldenCase {
 		{"96x8", small, 3, []uint64{1, 7}},
 		{"u_c_hihi.0", bench, 2, []uint64{1}},
 	}
-	for _, alg := range gridcma.Algorithms() {
+	runMatrix := func(alg string) {
 		for _, spec := range instances {
 			for _, seed := range spec.seeds {
 				s, err := gridcma.New(alg)
@@ -76,6 +76,22 @@ func goldenRuns(t *testing.T) []goldenCase {
 				}
 				note(alg+"/"+spec.name+"/seed"+strconv.FormatUint(seed, 10), res)
 			}
+		}
+	}
+	// Registry names added after the original 38-case matrix froze run at
+	// the END of the golden file: the first 38 cases keep their positions
+	// (and bytes) forever, and each later PR's variants append after them
+	// — the trajectory-compatibility contract in README terms. This one
+	// ordered list drives both the exclusion from the frozen section and
+	// the appended section below.
+	appendedAlgs := []string{"sampled-lmcts-batch", "sa-sweep", "tabu-sweep"}
+	appended := map[string]bool{}
+	for _, alg := range appendedAlgs {
+		appended[alg] = true
+	}
+	for _, alg := range gridcma.Algorithms() {
+		if !appended[alg] {
+			runMatrix(alg)
 		}
 	}
 
@@ -111,6 +127,23 @@ func goldenRuns(t *testing.T) []goldenCase {
 		// internal engine's output notes directly.
 		res := sched.Run(small, run.Budget{MaxIterations: 3}, 5, nil)
 		note("cma-ls-"+ls+"/96x8/seed5", res)
+	}
+
+	// Appended after the frozen 38: the sweep-native variants added in
+	// PR 5, each under its own registry name, plus the batch-sampled
+	// local search through the sequential cMA.
+	for _, alg := range appendedAlgs {
+		runMatrix(alg)
+	}
+	{
+		cfg := cma.DefaultConfig()
+		cfg.LocalSearch = localsearch.SampledLMCTSBatch{Samples: 64}
+		sched, err := cma.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sched.Run(small, run.Budget{MaxIterations: 3}, 5, nil)
+		note("cma-ls-LMCTS-sampled-batch/96x8/seed5", res)
 	}
 	return cases
 }

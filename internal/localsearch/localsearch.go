@@ -17,11 +17,24 @@
 // fitness through its loop (the probe contract guarantees the probe value
 // of a committed step equals the state's next fitness bit for bit), so
 // the accept baseline costs nothing per candidate.
+//
+// Since the dirty-machine delta engine (schedule.ScanCache) the scans are
+// additionally event-driven: LMCTS's full critical scan folds memoized
+// per-machine bests and re-sweeps only machines dirtied since the last
+// query — O(changed) instead of O(M) machines per iteration, and a plain
+// fold of cached scalars once the state is locally optimal — and LM's
+// probes run through the cache's frozen-state context, revalidated only
+// when a commit moves the state's epoch. Both remain bit-identical to the
+// full rescan, so trajectories (and the golden matrix) are unchanged.
+// Every Improve drains the state's commit event log before returning
+// (State.SyncScans), so a state never carries pending invalidations back
+// to a pool.
 package localsearch
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"gridcma/internal/rng"
 	"gridcma/internal/schedule"
@@ -46,6 +59,8 @@ func ByName(s string) (Method, error) {
 		return LMCTS{}, nil
 	case "LMCTS-sampled", "lmcts-sampled":
 		return SampledLMCTS{Samples: 64}, nil
+	case "LMCTS-sampled-batch", "lmcts-sampled-batch":
+		return SampledLMCTSBatch{Samples: 64}, nil
 	case "VND", "vnd":
 		return Chain{LM{}, SLM{}, LMCTS{}}, nil
 	case "none", "":
@@ -56,7 +71,9 @@ func ByName(s string) (Method, error) {
 }
 
 // Names lists the methods available through ByName.
-func Names() []string { return []string{"LM", "SLM", "LMCTS", "LMCTS-sampled", "VND", "none"} }
+func Names() []string {
+	return []string{"LM", "SLM", "LMCTS", "LMCTS-sampled", "LMCTS-sampled-batch", "VND", "none"}
+}
 
 // None is the identity method: a cMA with None degenerates to a cellular
 // GA, which the ablation benches exploit.
@@ -70,14 +87,17 @@ func (None) Name() string { return "none" }
 
 // LM (Local Move) proposes a uniformly random job-to-machine move each
 // iteration and keeps it only if the fitness improves. The candidate is
-// evaluated with the speculative probe, so a rejected proposal never
-// touches the state.
+// evaluated through the scan cache's frozen-state probe context — bit
+// identical to the scalar probe, with the accept baseline and the
+// tournament-tree walk revalidated only when a commit moves the epoch —
+// so a rejected proposal touches neither the state nor the tree.
 type LM struct{}
 
 // Improve implements Method.
 func (LM) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
 	in := st.Instance()
-	cur := o.Of(st)
+	sc := st.Scans(o)
+	cur := sc.Fitness()
 	for k := 0; k < iters; k++ {
 		j := r.Intn(in.Jobs)
 		to := r.Intn(in.Machs)
@@ -85,11 +105,12 @@ func (LM) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.So
 		if from == to {
 			continue
 		}
-		if f := st.FitnessAfterMove(o, j, to); f < cur {
+		if f := sc.FitnessAfterMove(j, to); f < cur {
 			st.Move(j, to)
 			cur = f
 		}
 	}
+	st.SyncScans()
 }
 
 // Name implements Method.
@@ -106,26 +127,14 @@ type SLM struct{}
 // Improve implements Method.
 func (SLM) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
 	in := st.Instance()
-	cur := o.Of(st)
+	sc := st.Scans(o)
 	for k := 0; k < iters; k++ {
 		j := r.Intn(in.Jobs)
-		from := st.Assign(j)
-		fits := st.FitnessAfterMoveSweep(o, j, nil)
-		bestFit := cur
-		bestTo := from
-		for to := 0; to < in.Machs; to++ {
-			if to == from {
-				continue
-			}
-			if f := fits[to]; f < bestFit {
-				bestFit, bestTo = f, to
-			}
-		}
-		if bestTo != from {
-			st.Move(j, bestTo)
-			cur = bestFit
+		if _, to := sc.BestMoveTarget(j); to != st.Assign(j) {
+			st.Move(j, to)
 		}
 	}
+	st.SyncScans()
 }
 
 // Name implements Method.
@@ -136,19 +145,24 @@ func (SLM) Name() string { return "SLM" }
 // reduces completion time. The candidate set pairs every job on the
 // current critical (makespan) machine with every job on the other
 // machines; the swap minimising the larger of the two new completion times
-// is applied when it improves the fitness.
+// is applied when it improves the fitness. The scan runs event-driven
+// over the state's ScanCache: per-machine bests are memoized, only
+// machines dirtied since the last query are re-swept, and the fold of
+// cached bests picks the exact swap the historical full scan picked.
 type LMCTS struct{}
 
 // Improve implements Method.
 func (LMCTS) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
-	cur := o.Of(st)
+	sc := st.Scans(o)
+	cur := sc.Fitness()
 	for k := 0; k < iters; k++ {
-		f, ok := bestCriticalSwap(st, o, cur, 0, nil)
+		f, ok := cachedCriticalSwap(st, sc, o, cur)
 		if !ok {
-			return // local optimum for this neighborhood
+			break // local optimum for this neighborhood
 		}
 		cur = f
 	}
+	st.SyncScans()
 }
 
 // Name implements Method.
@@ -172,21 +186,140 @@ func (s SampledLMCTS) Improve(st *schedule.State, o schedule.Objective, iters in
 	for k := 0; k < iters; k++ {
 		f, ok := bestCriticalSwap(st, o, cur, n, r)
 		if !ok {
-			return
+			break
 		}
 		cur = f
 	}
+	st.SyncScans()
 }
 
 // Name implements Method.
 func (s SampledLMCTS) Name() string { return "LMCTS-sampled" }
 
+// SampledLMCTSBatch is the batch-native sampled LMCTS: one pool of at
+// most Samples random partner jobs is drawn upfront per iteration
+// (instead of per critical job), sorted machine-grouped, captured once
+// with the swap-sweep kernel (State.BeginSwapScanIDs) and scanned by
+// every critical job through the flat per-machine invariants — the
+// partner-side completion terms are derived once per partner instead of
+// once per (critical job, partner) pair, and the sweep's hoisted
+// arithmetic applies to the sampled set exactly as it does to the full
+// scan.
+//
+// The candidate order is no longer the RNG stream of SampledLMCTS (one
+// shared pool versus per-critical-job draws), so trajectories differ:
+// this method registers under its own name ("LMCTS-sampled-batch", and
+// "sampled-lmcts-batch" at the public registry) and the historical
+// sampled variant stays frozen.
+type SampledLMCTSBatch struct {
+	Samples int
+}
+
+// Improve implements Method.
+func (s SampledLMCTSBatch) Improve(st *schedule.State, o schedule.Objective, iters int, r *rng.Source) {
+	n := s.Samples
+	if n <= 0 {
+		n = 64
+	}
+	cur := o.Of(st)
+	for k := 0; k < iters; k++ {
+		f, ok := batchSampledSwap(st, o, cur, n, r)
+		if !ok {
+			break
+		}
+		cur = f
+	}
+	st.SyncScans()
+}
+
+// Name implements Method.
+func (s SampledLMCTSBatch) Name() string { return "LMCTS-sampled-batch" }
+
+// batchSampledSwap performs one steepest swap step between the critical
+// machine and a shared pool of n sampled partners. Draws landing on the
+// critical machine are discarded (they consume the stream, like the
+// per-job sampling's skip). The kept ids are sorted by (machine, id) so
+// the swap scan sees them machine-grouped; BestPartner's smallest-id
+// tie-break and the strict fold across critical jobs in SPT order then
+// mirror the full scan's tie-break contract on the sampled subset.
+// Returns the fitness after the step and whether a swap was applied.
+func batchSampledSwap(st *schedule.State, o schedule.Objective, cur float64, n int, r *rng.Source) (float64, bool) {
+	in := st.Instance()
+	crit := st.MakespanMachine()
+	critJobs := st.JobsOn(crit)
+	if len(critJobs) == 0 {
+		return cur, false
+	}
+	ids := st.PartnerSampleBuf(n)
+	for k := 0; k < n; k++ {
+		if b := int32(r.Intn(in.Jobs)); st.Assign(int(b)) != crit {
+			ids = append(ids, b)
+		}
+	}
+	if len(ids) == 0 {
+		return cur, false
+	}
+	slices.SortFunc(ids, func(a, b int32) int {
+		if ma, mb := st.Assign(int(a)), st.Assign(int(b)); ma != mb {
+			return ma - mb
+		}
+		return int(a - b)
+	})
+	scan := st.BeginSwapScanIDs(crit, ids)
+	bestA, bestB := -1, -1
+	bestMax := st.Completion(crit)
+	for _, a := range critJobs {
+		v, b := scan.BestPartner(int(a))
+		if b >= 0 && v < bestMax {
+			bestMax, bestA, bestB = v, int(a), b
+		}
+	}
+	if bestA < 0 {
+		return cur, false
+	}
+	return tryCommitSwap(st, o, cur, bestA, bestB)
+}
+
+// tryCommitSwap is the shared accept-and-commit tail of every critical
+// swap step: the candidate already reduces the critical completion pair,
+// so all that remains is the fitness gate — the scalarised objective must
+// not regress (flowtime could in principle degrade more than makespan
+// gains). The probe answers that without applying the swap, so a
+// rejected candidate costs no state churn at all.
+func tryCommitSwap(st *schedule.State, o schedule.Objective, cur float64, a, b int) (float64, bool) {
+	f := st.FitnessAfterSwap(o, a, b)
+	if f >= cur {
+		return cur, false
+	}
+	st.Swap(a, b)
+	return f, true
+}
+
+// cachedCriticalSwap performs one steepest swap step of the full LMCTS
+// neighborhood through the state's event-driven scan cache: the memoized
+// per-machine bests answer the scan in O(changed) re-swept machines plus
+// an O(M) fold, and the winner — value and (a, b) pair — is the exact
+// swap bestCriticalSwap's full sweep finds. The accept logic is
+// unchanged: the swap must reduce the critical completion pair strictly,
+// and the scalarised fitness must improve (checked with the speculative
+// probe before any state churn).
+func cachedCriticalSwap(st *schedule.State, sc *schedule.ScanCache, o schedule.Objective, cur float64) (float64, bool) {
+	v, a, b := sc.BestCriticalSwap()
+	if b < 0 || v >= st.Completion(st.MakespanMachine()) {
+		return cur, false
+	}
+	return tryCommitSwap(st, o, cur, a, b)
+}
+
 // bestCriticalSwap performs one steepest swap step between the critical
 // machine and the rest, given the state's current fitness cur. samples > 0
 // examines that many random partner jobs per critical job (drawn from r,
-// one at a time, so sampling allocates nothing); samples == 0 scans all
-// jobs, batched machine by machine over CompletionAfterSwapSweep. Returns
-// the fitness after the step and whether a swap was applied.
+// one at a time, so sampling allocates nothing) — the SampledLMCTS path.
+// samples == 0 scans all jobs, batched machine by machine over the swap
+// sweep: since the event-driven rewrite this uncached full scan is kept
+// as the reference formulation the cached LMCTS is differentially tested
+// and benchmarked against. Returns the fitness after the step and whether
+// a swap was applied.
 //
 // The historical full scan walked every partner job in ascending id order
 // with a strict-< fold, so among candidates tied on max(aC, bC) the first
@@ -239,16 +372,7 @@ func bestCriticalSwap(st *schedule.State, o schedule.Objective, cur float64, sam
 	if bestA < 0 {
 		return cur, false
 	}
-	// Completion improved; also require the scalarised fitness not to
-	// regress (flowtime could in principle degrade more than makespan
-	// gains). The probe answers that without applying the swap, so a
-	// rejected candidate costs no state churn at all.
-	f := st.FitnessAfterSwap(o, bestA, bestB)
-	if f >= cur {
-		return cur, false
-	}
-	st.Swap(bestA, bestB)
-	return f, true
+	return tryCommitSwap(st, o, cur, bestA, bestB)
 }
 
 // Chain applies each method in sequence, splitting the iteration budget

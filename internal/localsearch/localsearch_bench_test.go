@@ -102,19 +102,100 @@ func BenchmarkLMCTSProbe(b *testing.B) {
 	}
 }
 
+// benchStateShape builds a random evaluated state of an explicit shape —
+// the 2048×64 rung of the cached-scan headline benchmarks.
+func benchStateShape(b *testing.B, jobs, machs int) *schedule.State {
+	b.Helper()
+	in := etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+		0, etc.GenerateOptions{Seed: 1, Jobs: jobs, Machs: machs})
+	return schedule.NewState(in, schedule.NewRandom(in, rng.New(7)))
+}
+
+// converge drives the state to an LMCTS local optimum, the steady state
+// the cached-vs-sweep benchmarks measure: every subsequent Improve call
+// is one full neighborhood scan that finds nothing (and commits nothing),
+// which is exactly where the event-driven cache collapses the scan to a
+// fold of memoized per-machine bests while the sweep formulation re-scans
+// every pair.
+func converge(st *schedule.State, o schedule.Objective) {
+	LMCTS{}.Improve(st, o, 1<<30, nil)
+}
+
 // BenchmarkLMCTSSweep measures one full-scan LMCTS step through the
 // batched swap sweeps (CompletionAfterSwapSweep per partner machine) —
-// the shipped full-neighborhood path. BenchmarkLMCTSSweep vs
-// BenchmarkLMCTSScalarScan is the headline number of the sweep layer's
-// swap side.
+// the pre-cache formulation, retained as the reference the delta engine
+// is measured against. BenchmarkLMCTSCachedScan vs BenchmarkLMCTSSweep
+// (steady state, same converged state shape) is the headline number of
+// the dirty-machine delta engine; BenchmarkLMCTSSweep vs
+// BenchmarkLMCTSScalarProbe remains the sweep layer's swap-side number.
 func BenchmarkLMCTSSweep(b *testing.B) {
 	st, _ := benchState(b)
 	o := schedule.DefaultObjective
-	LMCTS{}.Improve(st, o, 1, nil) // warm the state-owned scan buffers
+	converge(st, o)
+	lmctsSweepScan(st, o, 1) // warm the state-owned swap-scan buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lmctsSweepScan(st, o, 1)
+	}
+}
+
+// BenchmarkLMCTSCachedScan measures the shipped LMCTS through the
+// event-driven scan cache on the same converged 512×16 state
+// BenchmarkLMCTSSweep scans. Must report 0 allocs/op — CI runs every
+// CachedScan benchmark with -benchtime=1x and fails otherwise.
+func BenchmarkLMCTSCachedScan(b *testing.B) {
+	st, _ := benchState(b)
+	o := schedule.DefaultObjective
+	converge(st, o)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		LMCTS{}.Improve(st, o, 1, nil)
+	}
+}
+
+// BenchmarkLMCTSSweepLarge is the sweep reference at the 2048×64 scale,
+// where the O(critical jobs × jobs) full scan is ~65k pair evaluations
+// per iteration.
+func BenchmarkLMCTSSweepLarge(b *testing.B) {
+	st := benchStateShape(b, 2048, 64)
+	o := schedule.DefaultObjective
+	converge(st, o)
+	lmctsSweepScan(st, o, 1) // warm the state-owned swap-scan buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lmctsSweepScan(st, o, 1)
+	}
+}
+
+// BenchmarkLMCTSCachedScanLarge is the delta engine at 2048×64: the
+// acceptance bar is ≥5× over BenchmarkLMCTSSweepLarge steady-state at 0
+// allocs/op (the warm query folds 64 cached machine bests instead of
+// re-sweeping ~65k pairs).
+func BenchmarkLMCTSCachedScanLarge(b *testing.B) {
+	st := benchStateShape(b, 2048, 64)
+	o := schedule.DefaultObjective
+	converge(st, o)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LMCTS{}.Improve(st, o, 1, nil)
+	}
+}
+
+// BenchmarkSampledLMCTSBatch measures one batch-native sampled step
+// (upfront pool draw, machine-grouped sweep scan) for comparison with
+// BenchmarkLMCTSProbe, the per-job scalar sampling it derives from.
+func BenchmarkSampledLMCTSBatch(b *testing.B) {
+	st, r := benchState(b)
+	o := schedule.DefaultObjective
+	SampledLMCTSBatch{Samples: 64}.Improve(st, o, 1, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampledLMCTSBatch{Samples: 64}.Improve(st, o, 1, r)
 	}
 }
 

@@ -37,6 +37,14 @@ type Config struct {
 	Objective schedule.Objective
 	// SeedHeuristic builds the starting solution; nil starts random.
 	SeedHeuristic func(*etc.Instance) schedule.Schedule
+	// SweepProposals switches the proposal distribution from one uniform
+	// (job, machine) candidate per step to a per-machine sweep: each step
+	// draws a job and scores moving it to *every* machine in one
+	// FitnessAfterMoveSweep call, then Metropolis-tests the steepest
+	// target. The annealer walks a different (greedier) trajectory, so
+	// the gate is off for the frozen "sa" registry entry and on for
+	// "sa-sweep".
+	SweepProposals bool
 }
 
 // DefaultConfig mirrors the Braun et al. annealer adapted to the
@@ -79,7 +87,12 @@ func New(cfg Config) (*Scheduler, error) {
 }
 
 // Name identifies the algorithm in results.
-func (s *Scheduler) Name() string { return "SA" }
+func (s *Scheduler) Name() string {
+	if s.cfg.SweepProposals {
+		return "SA-sweep"
+	}
+	return "SA"
+}
 
 // Run executes the annealer; one budget iteration is one temperature
 // sweep.
@@ -115,15 +128,47 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 		}
 	}
 	emit()
-	// Probe-then-commit over an amortised scan context: the context
-	// caches the top machine completions once per accepted move, so the
-	// many rejected proposals between commits probe in O(1) on the
-	// makespan side instead of walking the tournament tree each time.
-	// The context's probes are bit-identical to the scalar ones, so the
-	// Metropolis trajectory is unchanged.
-	scan := cur.BeginMoveScan(o)
+	// Probe-then-commit over an amortised scan context (scalar-proposal
+	// mode only — the sweep mode scores whole neighborhoods per call and
+	// never touches it): the context caches the top machine completions
+	// once per accepted move, so the many rejected proposals between
+	// commits probe in O(1) on the makespan side instead of walking the
+	// tournament tree each time. The context's probes are bit-identical
+	// to the scalar ones, so the Metropolis trajectory is unchanged.
+	var scan schedule.MoveScan
+	if !s.cfg.SweepProposals {
+		scan = cur.BeginMoveScan(o)
+	}
 	for !budget.Done(iter, start) {
 		for k := 0; k < sweep; k++ {
+			if s.cfg.SweepProposals {
+				// Sweep-native proposal: draw a job, score all M targets
+				// in one batched sweep, Metropolis-test the steepest one
+				// (smallest machine id among exact ties).
+				j := r.Intn(in.Jobs)
+				fits := cur.FitnessAfterMoveSweep(o, j, nil)
+				from := cur.Assign(j)
+				bestF, bestTo := math.Inf(1), -1
+				for to, f := range fits {
+					if to != from && f < bestF {
+						bestF, bestTo = f, to
+					}
+				}
+				evals += int64(in.Machs - 1)
+				if bestTo < 0 {
+					continue
+				}
+				accept := bestF <= curFit
+				if !accept && temp > 0 {
+					accept = r.Float64() < math.Exp((curFit-bestF)/temp)
+				}
+				if accept {
+					cur.Move(j, bestTo)
+					curFit = bestF
+					best.Note(cur, bestF)
+				}
+				continue
+			}
 			j := r.Intn(in.Jobs)
 			to := r.Intn(in.Machs)
 			if cur.Assign(j) == to {
@@ -146,8 +191,9 @@ func (s *Scheduler) Run(in *etc.Instance, budget run.Budget, seed uint64, obs ru
 		iter++
 		emit()
 	}
+	cur.SyncScans()
 	return run.Result{
 		Best: best.Schedule(), Fitness: best.Fitness(), Makespan: best.Makespan(), Flowtime: best.Flowtime(),
-		Iterations: iter, Evals: evals, Elapsed: time.Since(start), Algorithm: "SA",
+		Iterations: iter, Evals: evals, Elapsed: time.Since(start), Algorithm: s.Name(),
 	}
 }

@@ -64,6 +64,38 @@ func TestBestMonotoneUnderObserver(t *testing.T) {
 	}
 }
 
+// TestSweepProposalsRunAndImprove covers the sweep-native proposal
+// distribution (the "sa-sweep" registry gate): it must run, never return
+// a best worse than the seed, report its own name, and be deterministic
+// in the seed.
+func TestSweepProposalsRunAndImprove(t *testing.T) {
+	in := testInstance(11)
+	cfg := DefaultConfig()
+	cfg.SweepProposals = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "SA-sweep" {
+		t.Fatalf("Name() = %q", s.Name())
+	}
+	seedFit := schedule.DefaultObjective.Evaluate(in, cfg.SeedHeuristic(in))
+	a := s.Run(in, run.Budget{MaxIterations: 20}, 5, nil)
+	b := s.Run(in, run.Budget{MaxIterations: 20}, 5, nil)
+	if a.Fitness > seedFit {
+		t.Fatalf("best %v worse than seed %v", a.Fitness, seedFit)
+	}
+	if !a.Best.Equal(b.Best) || a.Fitness != b.Fitness {
+		t.Fatal("sweep annealer not deterministic in the seed")
+	}
+	if a.Algorithm != "SA-sweep" {
+		t.Fatalf("result algorithm %q", a.Algorithm)
+	}
+	if a.Evals < int64(20*len(a.Best)) { // sweep steps score M-1 targets each
+		t.Fatalf("suspiciously few evals: %d", a.Evals)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	bad := []Config{
 		{InitialTempFactor: 0, Cooling: 0.9, Objective: schedule.DefaultObjective},

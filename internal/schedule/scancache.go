@@ -1,0 +1,266 @@
+package schedule
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Event-driven scan caching: the delta layer over the batched sweep
+// kernels (sweep.go). The sweeps made each neighborhood scan optimal *per
+// candidate*; iteration cost was still O(M) machines re-swept per step,
+// even though a committed Move or Swap changes exactly two machines and
+// leaves every other machine's cached scan result bit-for-bit valid.
+//
+// ScanCache turns that observation into an invalidation protocol. The
+// state stamps every machine with the epoch of its last content change
+// (state.go: machEpoch, advanced by the noteCommit hook); the cache
+// memoizes, per machine, the result of scanning that machine — currently
+// the machine's best critical-swap partner entry — together with the
+// epoch it was computed at. A query then re-sweeps only the machines
+// whose epoch moved and folds the memoized per-machine bests, anchored on
+// the max-tree's root (the critical machine): per-iteration scan work
+// drops from O(M) machines to O(changed), and to a plain O(M) fold of
+// cached scalars once the cache is warm.
+//
+// Exactness. Every memoized entry is produced by the same arithmetic, in
+// the same order, as SwapScan.BestPartner's flat scan, and an entry is
+// reused only while both its machine's epoch and the critical machine's
+// (identity, epoch) pair are unchanged — the inputs of every float in the
+// entry. The per-machine/fold decomposition reproduces the historical
+// ascending-id scan's winner exactly (see bestOn for the tie-break
+// argument), so a cached query equals a full rescan bit for bit; the
+// differential fuzz in scancache_test.go pins this across thousands of
+// random commit/invalidate sequences, tie-heavy integer instances
+// included.
+//
+// The critical-swap scan is the memoizable neighborhood because it
+// factorizes: with the critical machine fixed, each partner machine's
+// contribution depends only on that machine's own contents (and the
+// shared critical context). Move neighborhoods scored by the scalarised
+// fitness do not factorize per machine — a candidate's fitness folds the
+// flowtime and completions of *every* machine, so any commit anywhere
+// invalidates a memoized per-machine "best move" — which is why the move
+// side of the cache memoizes the frozen-state probe context (MoveScan)
+// keyed on the global epoch instead of per-machine bests.
+type ScanCache struct {
+	st *State
+	o  Objective
+
+	// Move side: the frozen-state probe context of BeginMoveScan,
+	// revalidated only when the global epoch moves — between commits,
+	// every probe and every accept baseline is served from it without
+	// re-reading the state or re-walking the tournament tree.
+	move      MoveScan
+	moveEpoch uint64 // epoch the context was captured at; 0 = never
+
+	// Swap side: per-partner-machine memo of the critical-swap scan,
+	// valid against (swapCrit, swapCritEpoch).
+	swapCrit      int    // critical machine the entries were computed against
+	swapCritEpoch uint64 // its machine epoch at computation; 0 = never
+	entryEpoch    []uint64
+	entryVal      []float64 // best max(aC, bC) over (a ∈ crit, b ∈ m)
+	entryAPos     []int32   // winning critical job's position in SPT order
+	entryB        []int32   // winning partner id; -1 = machine empty
+}
+
+// Scans returns the state's scan cache bound to objective o, sizing its
+// memo arrays on first use (the only allocation; every query afterwards
+// is allocation-free). Changing the objective invalidates the move-side
+// context; the swap-side entries are completion-based and survive.
+func (st *State) Scans(o Objective) *ScanCache {
+	sc := &st.scanCache
+	if sc.st == nil {
+		sc.st = st
+		sc.swapCrit = -1
+		machs := st.inst.Machs
+		sc.entryEpoch = make([]uint64, machs)
+		sc.entryVal = make([]float64, machs)
+		sc.entryAPos = make([]int32, machs)
+		sc.entryB = make([]int32, machs)
+		sc.o = o
+	} else if sc.o != o {
+		sc.o = o
+		sc.moveEpoch = 0
+	}
+	return sc
+}
+
+// sync acknowledges all pending commit events: the cache's validity is
+// carried by the epoch stamps it compares on every entry, so observing a
+// query boundary is all the drain has to do.
+func (sc *ScanCache) sync() { sc.st.drainDirty() }
+
+// freshenMove recaptures the frozen-state probe context iff the state
+// changed since the last capture.
+func (sc *ScanCache) freshenMove() {
+	if sc.moveEpoch != sc.st.epoch {
+		sc.move = sc.st.BeginMoveScan(sc.o)
+		sc.moveEpoch = sc.st.epoch
+	}
+}
+
+// Fitness returns the state's current fitness under the cache's
+// objective — bit-identical to Objective.Of, served from the cached probe
+// context between commits.
+func (sc *ScanCache) Fitness() float64 {
+	sc.sync()
+	sc.freshenMove()
+	return sc.move.cur
+}
+
+// FitnessAfterMove is State.FitnessAfterMove through the cached probe
+// context: bit-identical, with the tournament-tree walk memoized across
+// every probe between two commits (the LM and SA/tabu candidate loops).
+func (sc *ScanCache) FitnessAfterMove(j, to int) float64 {
+	sc.sync()
+	sc.freshenMove()
+	return sc.move.FitnessAfterMove(j, to)
+}
+
+// BestMoveTarget scores moving job j to every machine through one batched
+// sweep and returns the steepest target with the historical fold: the
+// current fitness is the baseline, candidates are scanned in ascending
+// machine order with a strict-< fold (so among exact ties the lowest
+// target wins), and the job's own machine is returned when no target
+// improves — exactly the SLM inner loop, bit for bit.
+func (sc *ScanCache) BestMoveTarget(j int) (float64, int) {
+	sc.sync()
+	st := sc.st
+	fits := st.FitnessAfterMoveSweep(sc.o, j, nil)
+	from := st.assign[j]
+	bestFit, bestTo := fits[from], from
+	for to, f := range fits {
+		if to != from && f < bestFit {
+			bestFit, bestTo = f, to
+		}
+	}
+	return bestFit, bestTo
+}
+
+// BestCriticalSwap returns the best swap between the current critical
+// machine and the rest — the LMCTS full-scan neighborhood — as the
+// minimal max(aC, bC) completion pair with its jobs (a on the critical
+// machine, b elsewhere; b = -1 when no partner exists). The winner is the
+// historical ascending-scan one: strict-< across critical jobs in SPT
+// order, smallest partner id within a critical job.
+//
+// Event-driven: per-machine bests are memoized and only machines whose
+// epoch moved since their entry was computed are re-swept; a change of
+// the critical machine's identity or contents invalidates every entry
+// (each one is computed against the critical context). Steady state — no
+// commits since the last query — costs one O(M) fold of cached scalars.
+func (sc *ScanCache) BestCriticalSwap() (float64, int, int) {
+	sc.sync()
+	st := sc.st
+	crit := st.MakespanMachine()
+	critJobs := st.machJobs[crit]
+	if len(critJobs) == 0 {
+		return math.Inf(1), -1, -1
+	}
+	if crit != sc.swapCrit || st.machEpoch[crit] != sc.swapCritEpoch {
+		for m := range sc.entryEpoch {
+			sc.entryEpoch[m] = 0
+		}
+		sc.swapCrit, sc.swapCritEpoch = crit, st.machEpoch[crit]
+	}
+	bestVal := math.Inf(1)
+	bestAPos, bestB := int32(-1), int32(-1)
+	for m := range sc.entryEpoch {
+		if m == crit {
+			continue
+		}
+		if sc.entryEpoch[m] != st.machEpoch[m] {
+			sc.entryVal[m], sc.entryAPos[m], sc.entryB[m] = st.bestOn(m, crit, critJobs)
+			sc.entryEpoch[m] = st.machEpoch[m]
+		}
+		if sc.entryB[m] < 0 {
+			continue
+		}
+		v, apos, b := sc.entryVal[m], sc.entryAPos[m], sc.entryB[m]
+		if v < bestVal ||
+			(v == bestVal && (apos < bestAPos || (apos == bestAPos && b < bestB))) {
+			bestVal, bestAPos, bestB = v, apos, b
+		}
+	}
+	if bestB < 0 {
+		return math.Inf(1), -1, -1
+	}
+	return bestVal, int(critJobs[bestAPos]), int(bestB)
+}
+
+// bestOn computes partner machine m's memo entry: the minimum over
+// critical jobs a and jobs b on m of max(aC, bC) — the completion pair
+// CompletionAfterSwap(a, b) reports — with the winning critical job's SPT
+// position and partner id. Same arithmetic, same order as
+// SwapScan.BestPartner's flat scan, so every emitted float is
+// bit-identical to the full-sweep path.
+//
+// The tie-break makes the per-machine/fold decomposition exact. The
+// historical scan folds strict-< across critical jobs (first a in SPT
+// order wins a tie) and smallest-id within one (per-a BestPartner).
+// bestOn keeps the lexicographic minimum of (value, aPos, b): a later
+// critical job never displaces an equal value, and a smaller partner id
+// only displaces within the same critical job. Folding the per-machine
+// entries by the same lexicographic order then yields the global
+// (value, aPos, b) minimum — the exact winner of the flat scan, because
+// no machine can hold a pair lexicographically below its own entry.
+func (st *State) bestOn(m, crit int, critJobs []int32) (float64, int32, int32) {
+	jobs := st.machJobs[m]
+	if len(jobs) == 0 {
+		return math.Inf(1), -1, -1
+	}
+	etcs := st.inst.ETC
+	machs := st.inst.Machs
+	cm := st.completion[m]
+	critC := st.completion[crit]
+	best := math.Inf(1)
+	bestAPos, bestB := int32(-1), int32(-1)
+	for apos, a := range critJobs {
+		aRow := etcs[int(a)*machs : int(a)*machs+machs]
+		ca := critC - aRow[crit]
+		w := aRow[m]
+		for _, b := range jobs {
+			row := int(b) * machs
+			x := ca + etcs[row+crit]
+			if y := (cm - etcs[row+m]) + w; y > x {
+				x = y
+			}
+			if x < best || (x == best && int32(apos) == bestAPos && b < bestB) {
+				best, bestAPos, bestB = x, int32(apos), b
+			}
+		}
+	}
+	return best, bestAPos, bestB
+}
+
+// dirtyAudit is a test-support gauge of pending dirty marks across every
+// live State: markDirty increments it, drains decrement it, so after a
+// public Run returns it must read exactly what it read before the run —
+// any state that died (or was pooled) carrying pending invalidation
+// events shows up as a positive residue. The audit is off by default and
+// costs one predictable branch per commit; DirtyAuditStart must be called
+// before the audited states exist (tests only), never concurrently with
+// running engines.
+var dirtyAudit struct {
+	on      bool
+	pending atomic.Int64
+}
+
+func dirtyAuditAdd(n int64) {
+	if dirtyAudit.on {
+		dirtyAudit.pending.Add(n)
+	}
+}
+
+// DirtyAuditStart enables the dirty-set leak gauge and zeroes it.
+func DirtyAuditStart() {
+	dirtyAudit.on = true
+	dirtyAudit.pending.Store(0)
+}
+
+// DirtyAuditStop disables the gauge.
+func DirtyAuditStop() { dirtyAudit.on = false }
+
+// DirtyAuditPending reads the gauge: the number of pending dirty marks
+// across all audited states. Zero after every well-behaved Run.
+func DirtyAuditPending() int64 { return dirtyAudit.pending.Load() }

@@ -1,0 +1,325 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/rng"
+)
+
+// Differential fuzz for the event-driven scan cache: across thousands of
+// random commit/invalidate sequences the cached critical-swap query must
+// return, bit for bit, the winner of a from-scratch full sweep — value,
+// critical job and partner id — including on tie-heavy integer instances
+// where the (value, SPT-position, id) tie-break contract actually binds.
+
+// scanInstances mixes generic random instances with tie-heavy integer
+// ones (tieInstance lives in sweep_test.go).
+func scanInstances() []*etc.Instance {
+	return []*etc.Instance{
+		etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+			0, etc.GenerateOptions{Seed: 81, Jobs: 72, Machs: 9}),
+		etc.Generate(etc.Class{Consistency: etc.Consistent, JobHet: etc.Low, MachineHet: etc.High},
+			0, etc.GenerateOptions{Seed: 82, Jobs: 90, Machs: 6}),
+		tieInstance(60, 8, 83),
+		tieInstance(36, 4, 84),
+		tieInstance(20, 3, 85),
+	}
+}
+
+// refCriticalSwap is the uncached reference: a fresh full sweep of the
+// critical neighborhood through BeginSwapScan/BestPartner (itself pinned
+// against the scalar pair query by sweep_test.go), folded with the
+// historical strict-< across critical jobs in SPT order.
+func refCriticalSwap(st *State) (float64, int, int) {
+	crit := st.MakespanMachine()
+	critJobs := st.JobsOn(crit)
+	if len(critJobs) == 0 {
+		return math.Inf(1), -1, -1
+	}
+	scan := st.BeginSwapScan(crit)
+	best, bestA, bestB := math.Inf(1), -1, -1
+	for _, a := range critJobs {
+		if v, b := scan.BestPartner(int(a)); b >= 0 && v < best {
+			best, bestA, bestB = v, int(a), b
+		}
+	}
+	if bestB < 0 {
+		return math.Inf(1), -1, -1
+	}
+	return best, bestA, bestB
+}
+
+// TestCachedScanMatchesFullSweep drives a state through long random
+// commit sequences — single moves, swaps, occasional wholesale
+// SetSchedule/CopyFrom invalidations, repeated queries with nothing dirty
+// — and checks the cached query against the reference sweep after every
+// step. The reference runs on a mirror state so its BeginSwapScan cannot
+// share buffers with the cache's sweeps.
+func TestCachedScanMatchesFullSweep(t *testing.T) {
+	o := DefaultObjective
+	for i, in := range scanInstances() {
+		r := rng.New(uint64(i) + 800)
+		start := NewRandom(in, r)
+		st := NewState(in, start)
+		mirror := NewState(in, start.Clone())
+		sc := st.Scans(o)
+		queries := 0
+		for step := 0; step < 900; step++ {
+			switch op := r.Intn(10); {
+			case op < 5: // committed move
+				j, to := r.Intn(in.Jobs), r.Intn(in.Machs)
+				st.Move(j, to)
+				mirror.Move(j, to)
+			case op < 8: // committed swap
+				a, b := r.Intn(in.Jobs), r.Intn(in.Jobs)
+				st.Swap(a, b)
+				mirror.Swap(a, b)
+			case op == 8: // wholesale invalidation
+				s := NewRandom(in, r)
+				st.SetSchedule(s)
+				mirror.SetSchedule(s)
+			default: // no-op: next query folds a fully warm cache
+			}
+			for q := 0; q < 2; q++ { // second query hits the warm path
+				gv, ga, gb := sc.BestCriticalSwap()
+				wv, wa, wb := refCriticalSwap(mirror)
+				if gv != wv || ga != wa || gb != wb {
+					t.Fatalf("instance %d step %d: cached scan (%x,%d,%d) != full sweep (%x,%d,%d)",
+						i, step, gv, ga, gb, wv, wa, wb)
+				}
+				queries++
+			}
+			if st.PendingDirty() != 0 {
+				t.Fatalf("instance %d step %d: %d pending dirty after query", i, step, st.PendingDirty())
+			}
+		}
+		if queries < 1500 {
+			t.Fatalf("instance %d: only %d differential queries", i, queries)
+		}
+	}
+}
+
+// TestCachedMoveProbesMatchScalar pins the cache's move-side context:
+// Fitness and FitnessAfterMove served through the epoch-revalidated
+// MoveScan must equal the direct reads bit for bit across random
+// commit/probe interleavings.
+func TestCachedMoveProbesMatchScalar(t *testing.T) {
+	o := DefaultObjective
+	for i, in := range scanInstances() {
+		r := rng.New(uint64(i) + 900)
+		st := NewState(in, NewRandom(in, r))
+		sc := st.Scans(o)
+		for step := 0; step < 600; step++ {
+			j, to := r.Intn(in.Jobs), r.Intn(in.Machs)
+			if got, want := sc.Fitness(), o.Of(st); got != want {
+				t.Fatalf("instance %d step %d: cached fitness %x != %x", i, step, got, want)
+			}
+			if got, want := sc.FitnessAfterMove(j, to), st.FitnessAfterMove(o, j, to); got != want {
+				t.Fatalf("instance %d step %d: cached probe %x != %x", i, step, got, want)
+			}
+			if step%3 == 0 {
+				st.Move(j, to)
+			}
+		}
+	}
+}
+
+// TestBestMoveTargetMatchesSweepFold pins the cache's steepest-transfer
+// helper against a direct fold over the move sweep.
+func TestBestMoveTargetMatchesSweepFold(t *testing.T) {
+	o := DefaultObjective
+	in := scanInstances()[2] // tie-heavy: the strict-< fold must bind
+	r := rng.New(77)
+	st := NewState(in, NewRandom(in, r))
+	sc := st.Scans(o)
+	out := make([]float64, in.Machs)
+	for step := 0; step < 400; step++ {
+		j := r.Intn(in.Jobs)
+		fits := st.FitnessAfterMoveSweep(o, j, out)
+		from := st.Assign(j)
+		wantFit, wantTo := fits[from], from
+		for to, f := range fits {
+			if to != from && f < wantFit {
+				wantFit, wantTo = f, to
+			}
+		}
+		gotFit, gotTo := sc.BestMoveTarget(j)
+		if gotFit != wantFit || gotTo != wantTo {
+			t.Fatalf("step %d: BestMoveTarget (%x,%d) != fold (%x,%d)", step, gotFit, gotTo, wantFit, wantTo)
+		}
+		if wantTo != from {
+			st.Move(j, wantTo)
+		}
+	}
+}
+
+// TestSwapScanIDsMatchesFullScan checks BeginSwapScanIDs against
+// BeginSwapScan: handed every non-critical job, machine-grouped, the
+// restricted scan must reproduce the full scan's BestPartner results
+// exactly.
+func TestSwapScanIDsMatchesFullScan(t *testing.T) {
+	for i, in := range scanInstances() {
+		r := rng.New(uint64(i) + 950)
+		st := NewState(in, NewRandom(in, r))
+		ref := NewState(in, st.Schedule())
+		for step := 0; step < 60; step++ {
+			crit := st.MakespanMachine()
+			ids := st.PartnerSampleBuf(in.Jobs)
+			for m := 0; m < in.Machs; m++ {
+				if m != crit {
+					ids = append(ids, st.JobsOn(m)...)
+				}
+			}
+			scan := st.BeginSwapScanIDs(crit, ids)
+			full := ref.BeginSwapScan(crit)
+			for _, a := range st.JobsOn(crit) {
+				gv, gb := scan.BestPartner(int(a))
+				wv, wb := full.BestPartner(int(a))
+				if gv != wv || gb != wb {
+					t.Fatalf("instance %d step %d job %d: ids scan (%x,%d) != full (%x,%d)",
+						i, step, a, gv, gb, wv, wb)
+				}
+			}
+			j, to := r.Intn(in.Jobs), r.Intn(in.Machs)
+			st.Move(j, to)
+			ref.Move(j, to)
+		}
+	}
+}
+
+// TestDirtySetSemantics pins the commit event log: a Move marks source
+// and target (plus the critical machines when the tree root moves), a
+// no-op marks nothing, drains empty the log, and wholesale invalidations
+// reset it — so a pooled state is reused clean.
+func TestDirtySetSemantics(t *testing.T) {
+	in := etc.Generate(etc.Class{}, 0, etc.GenerateOptions{Jobs: 40, Machs: 5, Seed: 60})
+	r := rng.New(3)
+	st := NewState(in, NewRandom(in, r))
+	if st.PendingDirty() != 0 {
+		t.Fatalf("fresh state has %d pending dirty", st.PendingDirty())
+	}
+	j := 0
+	from := st.Assign(j)
+	to := (from + 1) % in.Machs
+	critBefore := st.MakespanMachine()
+	st.Move(j, to)
+	marked := map[int32]bool{}
+	for _, m := range st.DirtyMachines() {
+		marked[m] = true
+	}
+	if !marked[int32(from)] || !marked[int32(to)] {
+		t.Fatalf("Move(%d→%d) marked %v, want source+target", from, to, st.DirtyMachines())
+	}
+	if critAfter := st.MakespanMachine(); critAfter != critBefore &&
+		(!marked[int32(critBefore)] || !marked[int32(critAfter)]) {
+		t.Fatalf("critical machine moved %d→%d but marks are %v", critBefore, critAfter, st.DirtyMachines())
+	}
+	st.SyncScans()
+	if st.PendingDirty() != 0 {
+		t.Fatal("SyncScans left pending dirty")
+	}
+	st.Move(j, to) // no-op: already there
+	if st.PendingDirty() != 0 {
+		t.Fatal("no-op Move marked machines")
+	}
+	st.Swap(j, j) // no-op
+	if st.PendingDirty() != 0 {
+		t.Fatal("no-op Swap marked machines")
+	}
+	st.Move(j, from)
+	if st.PendingDirty() == 0 {
+		t.Fatal("commit did not mark")
+	}
+	st.SetSchedule(NewRandom(in, r))
+	if st.PendingDirty() != 0 {
+		t.Fatal("SetSchedule left pending dirty")
+	}
+	st.Move(0, (st.Assign(0)+1)%in.Machs)
+	other := NewState(in, NewRandom(in, r))
+	st.CopyFrom(other)
+	if st.PendingDirty() != 0 {
+		t.Fatal("CopyFrom left pending dirty")
+	}
+	// Epochs must still have advanced across the wholesale reset, so any
+	// cached entry computed before it is stale.
+	if st.Epoch() == 0 || st.MachEpoch(0) != st.Epoch() {
+		t.Fatalf("wholesale reset: epoch %d, machEpoch %d", st.Epoch(), st.MachEpoch(0))
+	}
+}
+
+// TestDirtyAuditGauge exercises the cross-state leak gauge the public
+// Run leak check builds on.
+func TestDirtyAuditGauge(t *testing.T) {
+	DirtyAuditStart()
+	defer DirtyAuditStop()
+	in := etc.Generate(etc.Class{}, 0, etc.GenerateOptions{Jobs: 30, Machs: 4, Seed: 61})
+	r := rng.New(9)
+	st := NewState(in, NewRandom(in, r))
+	st.Move(0, (st.Assign(0)+1)%in.Machs)
+	if DirtyAuditPending() == 0 {
+		t.Fatal("commit not audited")
+	}
+	st.SyncScans()
+	if n := DirtyAuditPending(); n != 0 {
+		t.Fatalf("audit gauge %d after drain", n)
+	}
+}
+
+// TestCachedScanAllocationFree asserts the steady-state query path of the
+// cache — including re-sweeps of dirtied machines — never allocates.
+func TestCachedScanAllocationFree(t *testing.T) {
+	in := etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+		0, etc.GenerateOptions{Seed: 86, Jobs: 128, Machs: 16})
+	o := DefaultObjective
+	r := rng.New(4)
+	st := NewState(in, NewRandom(in, r))
+	sc := st.Scans(o)
+	sc.BestCriticalSwap() // size the memo arrays
+	if n := testing.AllocsPerRun(100, func() {
+		st.Move(r.Intn(in.Jobs), r.Intn(in.Machs)) // dirty two machines
+		sc.BestCriticalSwap()                      // O(changed) revalidation
+		sc.BestCriticalSwap()                      // warm fold
+		sc.FitnessAfterMove(r.Intn(in.Jobs), r.Intn(in.Machs))
+	}); n != 0 {
+		t.Errorf("cached scan allocates %v per query cycle", n)
+	}
+}
+
+// BenchmarkCachedScanQuery measures one warm cached critical-swap query —
+// the steady-state O(M) fold — at the paper's 512×16 shape. Must report 0
+// allocs/op: CI runs every CachedScan benchmark with -benchtime=1x and
+// fails otherwise.
+func BenchmarkCachedScanQuery(b *testing.B) {
+	in := etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+		0, etc.GenerateOptions{Seed: 1, Jobs: 512, Machs: 16})
+	r := rng.New(7)
+	st := NewState(in, NewRandom(in, r))
+	sc := st.Scans(DefaultObjective)
+	sc.BestCriticalSwap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.BestCriticalSwap()
+	}
+}
+
+// BenchmarkCachedScanRevalidate measures the event-driven path: one
+// committed move dirties two machines, the next query re-sweeps exactly
+// those and folds the rest from the memo — the O(changed) cost the delta
+// engine replaces the O(M) full sweep with. 0 allocs/op, CI-guarded.
+func BenchmarkCachedScanRevalidate(b *testing.B) {
+	in := etc.Generate(etc.Class{Consistency: etc.Inconsistent, JobHet: etc.High, MachineHet: etc.High},
+		0, etc.GenerateOptions{Seed: 1, Jobs: 512, Machs: 16})
+	r := rng.New(7)
+	st := NewState(in, NewRandom(in, r))
+	sc := st.Scans(DefaultObjective)
+	sc.BestCriticalSwap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Move(r.Intn(in.Jobs), r.Intn(in.Machs))
+		sc.BestCriticalSwap()
+	}
+}

@@ -38,6 +38,23 @@ type State struct {
 	flowtime   float64
 	top        maxTree // argmax over completion, O(log M) maintenance
 
+	// Change tracking for the event-driven scan cache (scancache.go).
+	// epoch counts committed mutations; machEpoch[m] is the epoch of
+	// machine m's last content change — a cached per-machine scan result
+	// is valid exactly while the machine's epoch is unchanged. The dirty
+	// set (mark + id list, both bounded by the machine count) is the
+	// commit event log: a Move or Swap marks its source and target
+	// machines, plus the old and new critical machine when the tournament
+	// tree's root moved. The attached ScanCache drains it on every query;
+	// wholesale re-evaluations (SetSchedule, CopyFrom, rebuild) clear it
+	// outright, because bumping every machine's epoch already invalidates
+	// every cached entry — a pooled state is therefore reused with an
+	// empty dirty set, never carrying pending marks across runs.
+	epoch     uint64
+	machEpoch []uint64
+	dirtyIDs  []int32
+	dirtyMark []bool
+
 	// Output buffers of the batched sweep kernels (sweep.go), owned by
 	// the state so the stateless search methods stay allocation-free.
 	// Pure scratch: lazily grown, never read across calls, not part of
@@ -47,6 +64,17 @@ type State struct {
 	sweepA   []float64
 	sweepB   []float64
 	swapScan SwapScan
+
+	// sampleIDs backs the batched sampled-partner draws of
+	// SampledLMCTSBatch (localsearch): partner ids drawn upfront, sorted
+	// machine-grouped, scanned through BeginSwapScanIDs.
+	sampleIDs []int32
+
+	// scanCache is the event-driven memo layer over the sweep kernels
+	// (scancache.go), lazily sized by Scans. Like the sweep scratch it is
+	// not part of the state's value: Clone and CopyFrom leave it cold and
+	// the machine epochs make every stale entry self-invalidating.
+	scanCache ScanCache
 }
 
 // NewState evaluates s against in. The schedule is copied; the State owns
@@ -64,6 +92,9 @@ func NewState(in *etc.Instance, s Schedule) *State {
 		slot:       make([]int32, in.Jobs),
 		completion: make([]float64, in.Machs),
 		machFlow:   make([]float64, in.Machs),
+		machEpoch:  make([]uint64, in.Machs),
+		dirtyIDs:   make([]int32, 0, in.Machs),
+		dirtyMark:  make([]bool, in.Machs),
 	}
 	st.top.init(in.Machs)
 	// Carve the per-machine lists out of one backing array, so
@@ -99,8 +130,11 @@ func NewState(in *etc.Instance, s Schedule) *State {
 	return st
 }
 
-// rebuild recomputes all derived state from st.assign.
+// rebuild recomputes all derived state from st.assign. Every machine's
+// content changes, so every machine advances to a fresh epoch and the
+// pending dirty set is cleared — the epoch bump subsumes it.
 func (st *State) rebuild() {
+	st.touchAll()
 	for m := range st.machJobs {
 		st.machJobs[m] = st.machJobs[m][:0]
 	}
@@ -160,6 +194,83 @@ func (st *State) refreshMachine(m int) {
 	st.machFlow[m] = flow
 	st.top.update(m, t)
 }
+
+// touchAll advances every machine to a fresh epoch and clears the dirty
+// set: the wholesale invalidation of rebuild, SetSchedule and CopyFrom.
+func (st *State) touchAll() {
+	st.epoch++
+	for m := range st.machEpoch {
+		st.machEpoch[m] = st.epoch
+	}
+	st.drainDirty()
+}
+
+// markDirty records machine m in the commit event log (idempotent per
+// drain interval; the list is bounded by the machine count).
+func (st *State) markDirty(m int) {
+	if !st.dirtyMark[m] {
+		st.dirtyMark[m] = true
+		st.dirtyIDs = append(st.dirtyIDs, int32(m))
+		dirtyAuditAdd(1)
+	}
+}
+
+// drainDirty consumes the event log: clears every mark and empties the
+// list. The machine epochs remain the validity truth, so draining never
+// loses information — it only acknowledges that the observer (the scan
+// cache, or a wholesale re-evaluation) has caught up.
+func (st *State) drainDirty() {
+	if len(st.dirtyIDs) == 0 {
+		return
+	}
+	dirtyAuditAdd(-int64(len(st.dirtyIDs)))
+	for _, m := range st.dirtyIDs {
+		st.dirtyMark[m] = false
+	}
+	st.dirtyIDs = st.dirtyIDs[:0]
+}
+
+// noteCommit is the Move/Swap commit hook: machines m1 and m2 changed
+// content (they advance to a fresh epoch and enter the dirty set), and if
+// the tournament tree's root — the critical machine — moved across the
+// commit, the old and new critical machines are marked too, so an
+// event-driven consumer sees every machine whose role in the next scan
+// changed, not just the two whose lists did.
+func (st *State) noteCommit(m1, m2, critBefore int) {
+	st.epoch++
+	st.machEpoch[m1] = st.epoch
+	st.machEpoch[m2] = st.epoch
+	st.markDirty(m1)
+	st.markDirty(m2)
+	if critAfter := st.top.argmax(); critAfter != critBefore {
+		st.markDirty(critBefore)
+		st.markDirty(critAfter)
+	}
+}
+
+// SyncScans drains the pending dirty set. Search loops that commit moves
+// call it before handing the state back (to a pool, or to their caller),
+// so a state never carries pending invalidation events out of a run —
+// the leak invariant the dirty-set audit (DirtyAuditStart) checks. The
+// scan cache drains on every query, so this is only needed when the last
+// action was a commit.
+func (st *State) SyncScans() { st.drainDirty() }
+
+// PendingDirty reports how many machines are in the commit event log —
+// zero whenever the scan cache (or SyncScans) has caught up. White-box
+// tests use it to pin the drain discipline.
+func (st *State) PendingDirty() int { return len(st.dirtyIDs) }
+
+// DirtyMachines returns the machines currently in the commit event log.
+// Callers must not mutate the returned slice; it is valid until the next
+// commit or drain.
+func (st *State) DirtyMachines() []int32 { return st.dirtyIDs }
+
+// Epoch returns the state's mutation counter; MachEpoch the epoch of
+// machine m's last content change. A cached per-machine result computed
+// at MachEpoch(m) stays exact while that value is unchanged.
+func (st *State) Epoch() uint64          { return st.epoch }
+func (st *State) MachEpoch(m int) uint64 { return st.machEpoch[m] }
 
 // Instance returns the instance this state evaluates against.
 func (st *State) Instance() *etc.Instance { return st.inst }
@@ -260,6 +371,7 @@ func (st *State) Move(j, to int) {
 	if from == to {
 		return
 	}
+	crit := st.top.argmax()
 	st.flowtime -= st.machFlow[from] + st.machFlow[to]
 	st.remove(j, from)
 	st.insert(j, to)
@@ -267,6 +379,7 @@ func (st *State) Move(j, to int) {
 	st.refreshMachine(from)
 	st.refreshMachine(to)
 	st.flowtime += st.machFlow[from] + st.machFlow[to]
+	st.noteCommit(from, to, crit)
 }
 
 // Swap exchanges the machines of jobs a and b. Swapping jobs on the same
@@ -276,6 +389,7 @@ func (st *State) Swap(a, b int) {
 	if ma == mb {
 		return
 	}
+	crit := st.top.argmax()
 	st.flowtime -= st.machFlow[ma] + st.machFlow[mb]
 	st.remove(a, ma)
 	st.remove(b, mb)
@@ -285,6 +399,7 @@ func (st *State) Swap(a, b int) {
 	st.refreshMachine(ma)
 	st.refreshMachine(mb)
 	st.flowtime += st.machFlow[ma] + st.machFlow[mb]
+	st.noteCommit(ma, mb, crit)
 }
 
 // CompletionAfterMove returns, in O(1), the completion times the source and
@@ -333,6 +448,10 @@ func (st *State) Clone() *State {
 		machFlow:   append([]float64(nil), st.machFlow...),
 		flowtime:   st.flowtime,
 		top:        st.top.clone(),
+		epoch:      st.epoch,
+		machEpoch:  append([]uint64(nil), st.machEpoch...),
+		dirtyIDs:   make([]int32, 0, len(st.machJobs)),
+		dirtyMark:  make([]bool, len(st.machJobs)),
 	}
 	for m, jobs := range st.machJobs {
 		cp.machJobs[m] = append([]int32(nil), jobs...)
@@ -347,6 +466,7 @@ func (st *State) CopyFrom(src *State) {
 	if st.inst != src.inst {
 		panic("schedule: CopyFrom across instances")
 	}
+	st.touchAll()
 	st.assign.CopyFrom(src.assign)
 	copy(st.slot, src.slot)
 	copy(st.completion, src.completion)

@@ -1,0 +1,39 @@
+package gridcma_test
+
+import (
+	"context"
+	"testing"
+
+	"gridcma"
+	"gridcma/internal/schedule"
+)
+
+// TestDirtySetDrainedAfterRun is the leak check of the dirty-machine
+// delta engine at the public surface: with the schedule package's dirty
+// audit gauge armed, every registered algorithm's Run must return with
+// zero pending dirty marks across every State it created — local search
+// methods and mutators drain after their commits, SA/tabu drain before
+// returning, and wholesale re-evaluations (SetSchedule/CopyFrom) reset
+// the log. A positive residue means some engine path commits moves and
+// hands the state onward (or drops it) without acknowledging the events,
+// which would leave pooled states carrying stale invalidation marks into
+// their next run.
+func TestDirtySetDrainedAfterRun(t *testing.T) {
+	schedule.DirtyAuditStart()
+	defer schedule.DirtyAuditStop()
+	in := smallInstance()
+	for _, name := range gridcma.Algorithms() {
+		s, err := gridcma.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(context.Background(), in,
+			gridcma.WithMaxIterations(2), gridcma.WithSeed(11)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n := schedule.DirtyAuditPending(); n != 0 {
+			t.Errorf("%s: %d dirty marks pending after Run", name, n)
+			schedule.DirtyAuditStart() // rezero so later algorithms report their own residue
+		}
+	}
+}

@@ -145,4 +145,12 @@ func init() {
 	Register("gsa", func() (Scheduler, error) { return newGAScheduler("gsa", ga.GSA) })
 	Register("sa", func() (Scheduler, error) { return NewSA() })
 	Register("tabu", func() (Scheduler, error) { return NewTabu() })
+	// Sweep-native search variants (PR 5). These change trajectories —
+	// batch-upfront partner sampling and per-machine proposal
+	// distributions reorder the candidate stream — so they live under new
+	// names and the entries above keep their frozen golden trajectories
+	// (the compatibility contract testdata/golden.json pins).
+	Register("sampled-lmcts-batch", func() (Scheduler, error) { return NewSampledLMCTSBatch() })
+	Register("sa-sweep", func() (Scheduler, error) { return NewSASweep() })
+	Register("tabu-sweep", func() (Scheduler, error) { return NewTabuSweep() })
 }

@@ -23,7 +23,8 @@ func TestRegistryRoundTripsEveryAlgorithm(t *testing.T) {
 	if len(names) < 8 {
 		t.Fatalf("only %d registered algorithms: %v", len(names), names)
 	}
-	for _, want := range []string{"cma", "cma-sync", "island", "braun-ga", "ss-ga", "struggle-ga", "gsa", "sa", "tabu"} {
+	for _, want := range []string{"cma", "cma-sync", "island", "braun-ga", "ss-ga", "struggle-ga", "gsa", "sa", "tabu",
+		"sampled-lmcts-batch", "sa-sweep", "tabu-sweep"} {
 		found := false
 		for _, n := range names {
 			if n == want {
