@@ -1,0 +1,355 @@
+// Command gridd runs the online rolling-horizon scheduler daemon: a
+// long-running service that keeps one live schedule per grid, admits
+// streamed submissions in batch windows, and warm-starts local search
+// from the live state instead of re-solving from scratch.
+//
+//	gridd -addr :8437                          # serve the HTTP API
+//	gridd -addr :8437 -log gridd.log           # with a write-ahead event log
+//	gridd -snapshot snap.json -log gridd.log   # restore + replay, then serve
+//	gridd -load -jobs 1000000 -machines 64     # million-job load harness
+//	gridd -selfcheck                           # snapshot/restart/replay smoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"gridcma/internal/daemon"
+	"gridcma/internal/eventlog"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8437", "HTTP listen address")
+		seed     = flag.Uint64("seed", 1, "grid seed (ETC noise, search streams)")
+		machCap  = flag.Int("mach-cap", 64, "machine slot capacity")
+		jobCap   = flag.Int("job-cap", 4096, "initial job slot capacity")
+		lsIters  = flag.Int("ls-iters", 5, "local search iterations per admission")
+		lsMethod = flag.String("ls-method", "LMCTS", "local search method for admissions")
+		window   = flag.Duration("window", 250*time.Millisecond, "admission ticker period (0 disables)")
+		admitAt  = flag.Int("admit-pending", 256, "admit when this many jobs are pending (0 disables)")
+		logPath  = flag.String("log", "", "write-ahead event log path")
+		snapPath = flag.String("snapshot", "", "restore from this snapshot before serving")
+
+		load      = flag.Bool("load", false, "run the load harness against an in-process daemon")
+		jobs      = flag.Int("jobs", 1_000_000, "load: total submissions")
+		machines  = flag.Int("machines", 64, "load: machines joined at start")
+		live      = flag.Int("live", 2048, "load: steady-state in-flight jobs")
+		batch     = flag.Int("batch", 512, "load: submissions per HTTP request")
+		coldEvery = flag.Int("cold-every", 25, "load: sample a cold re-solve every N batches")
+		out       = flag.String("out", "BENCH_gridd.json", "load: benchmark report path")
+
+		selfcheck = flag.Bool("selfcheck", false, "run the snapshot/restart/replay smoke check and exit")
+	)
+	flag.Parse()
+
+	gcfg := daemon.DefaultConfig()
+	gcfg.Seed = *seed
+	gcfg.MachCap = *machCap
+	gcfg.JobCap = *jobCap
+	gcfg.LSIters = *lsIters
+	gcfg.LSMethod = *lsMethod
+	scfg := daemon.ServerConfig{
+		Grid:         gcfg,
+		Window:       *window,
+		AdmitPending: *admitAt,
+		LogPath:      *logPath,
+	}
+
+	switch {
+	case *selfcheck:
+		if err := runSelfcheck(scfg); err != nil {
+			fatal(err)
+		}
+	case *load:
+		if err := runLoad(scfg, *jobs, *machines, *live, *batch, *coldEvery, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := serve(scfg, *addr, *snapPath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridd:", err)
+	os.Exit(1)
+}
+
+// buildDaemon constructs the daemon, restoring from a snapshot and
+// replaying the log suffix when asked.
+func buildDaemon(cfg daemon.ServerConfig, snapPath string) (*daemon.Daemon, error) {
+	if snapPath == "" {
+		return daemon.NewDaemon(cfg)
+	}
+	f, err := os.Open(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	g, err := daemon.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LogPath != "" {
+		if lf, err := os.Open(cfg.LogPath); err == nil {
+			events, rerr := eventlog.Read(lf)
+			lf.Close()
+			if rerr != nil {
+				return nil, rerr
+			}
+			replayed := 0
+			for _, e := range events {
+				if e.Seq <= g.Applied() {
+					continue
+				}
+				if aerr := g.Apply(e); aerr != nil {
+					return nil, fmt.Errorf("replaying event %d: %v", e.Seq, aerr)
+				}
+				replayed++
+			}
+			fmt.Fprintf(os.Stderr, "gridd: restored snapshot at seq %d, replayed %d logged events\n",
+				g.Applied()-uint64(replayed), replayed)
+		}
+	}
+	return daemon.NewDaemonWith(g, cfg)
+}
+
+func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
+	d, err := buildDaemon(cfg, snapPath)
+	if err != nil {
+		return err
+	}
+	d.Start()
+	srv := &http.Server{Addr: addr, Handler: d.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		srv.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "gridd: serving on %s\n", addr)
+	err = srv.ListenAndServe()
+	if stopErr := d.Stop(); stopErr != nil {
+		return stopErr
+	}
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// runLoad spins an in-process daemon on a loopback port and drives it
+// with the HTTP load harness, writing the benchmark report.
+func runLoad(cfg daemon.ServerConfig, jobs, machines, live, batch, coldEvery int, out string) error {
+	cfg.Window = 0 // admissions purely threshold-driven: deterministic event stream
+	d, err := daemon.NewDaemon(cfg)
+	if err != nil {
+		return err
+	}
+	d.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go srv.Serve(ln)
+	defer func() {
+		srv.Close()
+		d.Stop()
+	}()
+
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "gridd: load harness → %s (%d jobs, %d machines, live %d)\n",
+		base, jobs, machines, live)
+	lastTick := time.Now()
+	row, err := daemon.RunLoad(daemon.LoadConfig{
+		BaseURL:    base,
+		Jobs:       jobs,
+		Machines:   machines,
+		LiveTarget: live,
+		Batch:      batch,
+		ColdEvery:  coldEvery,
+		Seed:       cfg.Grid.Seed,
+	}, cfg.AdmitPending, func(done int) {
+		if time.Since(lastTick) > 5*time.Second {
+			lastTick = time.Now()
+			fmt.Fprintf(os.Stderr, "gridd: %d/%d submitted\n", done, jobs)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	report := daemon.LoadReport{
+		Name:      "gridd-load",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoArch:    runtime.GOARCH,
+		Rows:      []daemon.LoadRow{*row},
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("gridd load: %d jobs, %.0f jobs/s, p50 %.3fms p99 %.3fms, warm %.3fms vs cold %.3fms (%.1fx), makespan ratio %.3f → %s\n",
+		row.Jobs, row.ThroughputPS, row.LatP50Ms, row.LatP99Ms,
+		row.WarmAdmitMeanMs, row.ColdMeanMs, row.WarmSpeedup, row.MakespanRatio, out)
+	return nil
+}
+
+// runSelfcheck exercises the full restart contract over real HTTP and the
+// real filesystem: serve, submit, snapshot to disk, keep going, kill,
+// restore + replay the log, and require the restored snapshot to be
+// byte-identical to the live one. CI runs this against a race-enabled
+// build.
+func runSelfcheck(cfg daemon.ServerConfig) error {
+	dir, err := os.MkdirTemp("", "gridd-selfcheck")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Window = 0
+	cfg.AdmitPending = 16
+	cfg.LogPath = dir + "/gridd.log"
+
+	d, err := daemon.NewDaemon(cfg)
+	if err != nil {
+		return err
+	}
+	d.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	post := func(path string, body any) error {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: %s", path, resp.Status)
+		}
+		return nil
+	}
+	getBytes := func(path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+
+	joins := []map[string]any{}
+	for i := 0; i < 4; i++ {
+		joins = append(joins, map[string]any{"type": "join", "mult": float64(1 + i%3)})
+	}
+	if err := post("/event", joins); err != nil {
+		return err
+	}
+	for b := 0; b < 5; b++ {
+		bases := make([]float64, 24)
+		for i := range bases {
+			bases[i] = float64(1 + (b+i)%8)
+		}
+		if err := post("/submit", daemon.SubmitRequest{Bases: bases}); err != nil {
+			return err
+		}
+	}
+	midSnap, err := getBytes("/snapshot")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(dir+"/snap.json", midSnap, 0o644); err != nil {
+		return err
+	}
+	// Keep going past the snapshot: completes, a failure, more load.
+	if err := post("/event", []map[string]any{
+		{"type": "complete", "job": 1}, {"type": "complete", "job": 2},
+		{"type": "fail", "mach": 2},
+	}); err != nil {
+		return err
+	}
+	if err := post("/submit", daemon.SubmitRequest{Bases: []float64{3, 1, 4, 1, 5}}); err != nil {
+		return err
+	}
+	if err := post("/admit", struct{}{}); err != nil {
+		return err
+	}
+	finalSnap, err := getBytes("/snapshot")
+	if err != nil {
+		return err
+	}
+	srv.Close()
+	if err := d.Stop(); err != nil {
+		return err
+	}
+
+	// "Restart": restore the mid snapshot, replay the log suffix.
+	sf, err := os.Open(dir + "/snap.json")
+	if err != nil {
+		return err
+	}
+	g, err := daemon.ReadSnapshot(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+	lf, err := os.Open(cfg.LogPath)
+	if err != nil {
+		return err
+	}
+	events, err := eventlog.Read(lf)
+	lf.Close()
+	if err != nil {
+		return err
+	}
+	replayed := 0
+	for _, e := range events {
+		if e.Seq <= g.Applied() {
+			continue
+		}
+		if err := g.Apply(e); err != nil {
+			return fmt.Errorf("replay seq %d: %v", e.Seq, err)
+		}
+		replayed++
+	}
+	if replayed == 0 {
+		return fmt.Errorf("selfcheck: no events to replay past the snapshot")
+	}
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf.Bytes(), finalSnap) {
+		return fmt.Errorf("selfcheck FAILED: restored snapshot differs from live\nlive:     %s\nrestored: %s",
+			finalSnap, buf.Bytes())
+	}
+	fmt.Printf("gridd selfcheck: ok (replayed %d events, %d snapshot bytes byte-identical)\n",
+		replayed, len(finalSnap))
+	return nil
+}

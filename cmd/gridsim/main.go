@@ -6,6 +6,7 @@
 //	gridsim -policy minmin -horizon 2000
 //	gridsim -policy tabu -cma-iters 20        # any registry algorithm
 //	gridsim -compare                          # cMA vs heuristics side by side
+//	gridsim -trace-out run.log                # export the gridd event stream
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"gridcma"
+	"gridcma/internal/eventlog"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		cmaIters = flag.Int("cma-iters", 10, "metaheuristic iterations per activation")
 		compare  = flag.Bool("compare", false, "compare cma against all heuristics")
+		traceOut = flag.String("trace-out", "", "write the simulation's event stream in gridd's event-log format")
 	)
 	flag.Parse()
 
@@ -62,9 +65,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var closeTrace func() error
+	if *traceOut != "" {
+		if closeTrace, err = traceRecorder(&cfg, *traceOut); err != nil {
+			fatal(err)
+		}
+	}
 	m, err := gridcma.Simulate(cfg, p)
 	if err != nil {
 		fatal(err)
+	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("event trace       %s\n", *traceOut)
 	}
 	fmt.Printf("policy            %s\n", p.Name())
 	fmt.Printf("jobs              %d arrived, %d completed, %d restarted\n",
@@ -106,6 +121,36 @@ func buildPolicy(name string, iters int) (gridcma.SimPolicy, error) {
 			name, gridcma.Algorithms(), gridcma.HeuristicNames())
 	}
 	return gridcma.BatchPolicy(name, sched, gridcma.Budget{MaxIterations: iters}), nil
+}
+
+// traceRecorder installs a Record hook on cfg that streams the
+// simulation's transitions to path as a sequentially stamped gridd event
+// log — the same format `gridd -log` appends and replays, so a simulated
+// workload can be fed through the daemon verbatim.
+func traceRecorder(cfg *gridcma.SimConfig, path string) (func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := eventlog.NewWriter(f)
+	var werr error
+	cfg.Record = func(e eventlog.Event) {
+		if werr != nil {
+			return
+		}
+		_, werr = w.Append(e)
+	}
+	return func() error {
+		if werr != nil {
+			f.Close()
+			return werr
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
 }
 
 func fatal(err error) {

@@ -132,6 +132,23 @@
 // The same Scheduler contract drives the dynamic grid simulator:
 // BatchPolicy turns any Scheduler into a periodic-activation policy.
 //
+// # Online scheduling
+//
+// cmd/gridd runs the rolling-horizon daemon built on internal/daemon: a
+// long-running service holding one live schedule.State per grid.
+// Submissions and machine churn arrive as events (internal/eventlog),
+// admissions happen in batch windows, and each window warm-starts the
+// local search from the live state through State.SetScheduleDiff and the
+// event-driven scan cache — O(changed) per window instead of a re-solve.
+// The daemon is deterministic by construction (Grid.Apply is a pure
+// function of state and event), journals every event to a write-ahead
+// log, and snapshots restore bit-identically: the same snapshot plus the
+// same event log reproduces the same schedule trajectory, byte for byte.
+// The simulator exports its event stream in the daemon's log format
+// (SimConfig.Record, gridsim -trace-out), so simulated workloads replay
+// through the daemon directly. BENCH_gridd.json holds the committed
+// million-job load-harness artifact.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
 package gridcma

@@ -1,0 +1,776 @@
+// Package daemon implements gridd, the online rolling-horizon scheduler:
+// the batch evaluation stack (schedule.State, the speculative probes and
+// the event-driven ScanCache) turned into a long-running service. Jobs
+// stream in and machines join, leave and fail; instead of rescheduling
+// from scratch, every admission window warm-starts local search from the
+// live state, so arrivals and departures dirty only the machines they
+// touch — exactly the O(changed) contract the delta engine revalidates.
+//
+// # State model
+//
+// A Grid owns one etc.Instance sized for capacity: jobCap job slots by
+// (machine capacity + 1) columns, where the extra column is the parking
+// machine. Every job slot is always assigned somewhere — free and pending
+// slots sit on the parking machine with a tiny ETC there and a huge ETC
+// on every real machine, live jobs the reverse — so the full-neighborhood
+// search methods can run unmodified over the capacity instance: any move
+// or swap that would drag a job onto the parking machine, a dead machine
+// slot, or a free slot into the working set is worse by construction and
+// is rejected by the searches' own accept gates. Slots recycle: a
+// completed job's slot parks and is reclaimed by a later submission, with
+// its ETC row rewritten while the state cannot observe it (the row of a
+// parked job only feeds the state through the parking column, which never
+// changes). The instance is therefore deliberately mutable here, against
+// the package-level convention — the Grid is its only owner and never
+// mutates a value the live State has derived data from.
+//
+// # Determinism and replay
+//
+// Grid.Apply is a pure function of (state, event): job and machine ids
+// are assigned sequentially, ETC values derive from (job id, machine id,
+// seed) exactly as in gridsim, admission placement is greedy MCT with
+// lowest-index tie-breaks, committed through State.SetScheduleDiff, and
+// the improvement pass seeds its RNG from (seed, admission counter). Wall
+// clock never feeds a transition. The state flowtime is re-folded
+// canonically (State.RefreshFlowtime) at every event boundary, so a state
+// restored from a snapshot — which rebuilds and therefore folds — is
+// bit-identical to the live state the snapshot was taken from: same
+// snapshot + same event log ⇒ bit-identical schedule trajectory, the
+// operational form of the repo's trajectory-compatibility discipline.
+package daemon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"gridcma/internal/etc"
+	"gridcma/internal/eventlog"
+	"gridcma/internal/localsearch"
+	"gridcma/internal/rng"
+	"gridcma/internal/schedule"
+)
+
+const (
+	// parkEps scales the parking-column ETC of a parked (free or pending)
+	// slot: slot keys are parkEps times a monotonic park sequence number,
+	// so every parked slot has a distinct tiny ETC and the parking
+	// machine's (ETC, id)-sorted job list is exactly park order. Newly
+	// parked slots therefore append at the tail, the free stack (LIFO)
+	// hands the tail back out first, and admissions remove from the tail —
+	// parking-list maintenance stays O(changed) instead of shifting
+	// thousands of long-parked slots. The sum over every parked slot stays
+	// far below any real machine's completion, so the parking machine can
+	// never become critical while jobs are placed.
+	parkEps = 1e-12
+	// blockETC is the "never go there" ETC: parked slots on real
+	// machines, live jobs on the parking column and every dead machine
+	// column. Any candidate involving such an entry scores at least
+	// blockETC worse than doing nothing, so improvement-gated searches
+	// cannot select it; sums of a few thousand of these stay far below
+	// overflow.
+	blockETC = 1e18
+)
+
+// Config parameterises a Grid. The zero value is not valid; use
+// DefaultConfig and override.
+type Config struct {
+	// Seed drives ETC pair noise and the per-admission search streams.
+	Seed uint64 `json:"seed"`
+	// MachCap is the number of real machine slots (live machines ≤ this).
+	MachCap int `json:"mach_cap"`
+	// JobCap is the initial number of job slots; the grid grows (doubling,
+	// with a full re-evaluation) when live + pending jobs exceed it.
+	JobCap int `json:"job_cap"`
+	// TaskRange and MachRange document the workload model for producers
+	// (bases in [1, TaskRange], multipliers in [1, MachRange]); the grid
+	// itself accepts any base ≥ 1 and mult ≥ 1.
+	TaskRange float64 `json:"task_range"`
+	MachRange float64 `json:"mach_range"`
+	// PairInconsistency ≥ 1 scales the deterministic per-(job, machine)
+	// ETC noise multiplier, gridsim's inconsistency knob.
+	PairInconsistency float64 `json:"pair_inconsistency"`
+	// LSIters is the local search budget of each admission window.
+	LSIters int `json:"ls_iters"`
+	// LSMethod names the warm improvement pass (localsearch.ByName).
+	LSMethod string `json:"ls_method"`
+	// Lambda is the makespan weight of the scalarised objective.
+	Lambda float64 `json:"lambda"`
+}
+
+// DefaultConfig returns a 64-machine grid with the paper-tuned LMCTS
+// improvement pass and objective.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		MachCap:           64,
+		JobCap:            1024,
+		TaskRange:         8,
+		MachRange:         3,
+		PairInconsistency: 1.5,
+		LSIters:           5,
+		LSMethod:          "LMCTS",
+		Lambda:            schedule.DefaultLambda,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.MachCap < 1:
+		return fmt.Errorf("daemon: MachCap %d, want >= 1", c.MachCap)
+	case c.JobCap < 1:
+		return fmt.Errorf("daemon: JobCap %d, want >= 1", c.JobCap)
+	case c.PairInconsistency < 1:
+		return fmt.Errorf("daemon: PairInconsistency %v, want >= 1", c.PairInconsistency)
+	case c.LSIters < 0:
+		return fmt.Errorf("daemon: negative LSIters")
+	case c.Lambda < 0 || c.Lambda > 1:
+		return fmt.Errorf("daemon: Lambda %v outside [0, 1]", c.Lambda)
+	}
+	_, err := localsearch.ByName(c.LSMethod)
+	return err
+}
+
+// job slot states.
+const (
+	slotFree    uint8 = iota
+	slotPending       // submitted (or orphaned), parked, awaiting admission
+	slotPlaced        // assigned to a live machine
+)
+
+type jobSlot struct {
+	id    uint64 // 1-based global job id; 0 when free
+	base  float64
+	state uint8
+}
+
+type machSlot struct {
+	id       uint64 // 1-based global machine id; 0 when never used
+	mult     float64
+	alive    bool
+	departed bool // left/failed since the last admission; jobs not yet re-pooled
+}
+
+// Counters are the grid's monotonic event statistics.
+type Counters struct {
+	Submitted uint64 `json:"submitted"`
+	Placed    uint64 `json:"placed"`
+	Completed uint64 `json:"completed"`
+	Restarts  uint64 `json:"restarts"` // jobs re-pooled by a machine failure
+	Rebalance uint64 `json:"rebalanced"`
+	Admits    uint64 `json:"admits"`
+	Grows     uint64 `json:"grows"`
+	Joined    uint64 `json:"machines_joined"`
+	Left      uint64 `json:"machines_left"`
+}
+
+// Placement reports one job placed by an admission window.
+type Placement struct {
+	Job  uint64 // job id
+	Mach uint64 // machine id
+}
+
+// Grid is the deterministic scheduler state machine behind the daemon.
+// It is not safe for concurrent use; the Daemon serialises access.
+type Grid struct {
+	cfg  Config
+	inst *etc.Instance
+	st   *schedule.State
+	obj  schedule.Objective
+	ls   localsearch.Method
+	r    rng.Source
+
+	jobs     []jobSlot
+	free     []int32 // free slot stack; pop from the end (most recently parked first)
+	pending  []int32 // slots awaiting placement, in re-pool/submit order
+	byID     map[uint64]int32
+	machs    []machSlot
+	machByID map[uint64]int
+
+	nextJobID  uint64
+	nextMachID uint64
+	applied    uint64 // sequence number of the last applied event
+	counters   Counters
+
+	// parkSeq counts park operations; parkKeys[s] is the sequence number
+	// slot s was last parked under — the slot's position key in the
+	// parking machine's job list (ETC = parkKeys[s] * parkEps).
+	parkSeq  uint64
+	parkKeys []uint64
+
+	// lastPlaced holds the placements of the most recent admission — the
+	// daemon reads it for latency accounting and API responses. Not part
+	// of the replayed state.
+	lastPlaced []Placement
+}
+
+// NewGrid builds an empty grid: all job slots free and parked, all
+// machine slots dead.
+func NewGrid(cfg Config) (*Grid, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ls, _ := localsearch.ByName(cfg.LSMethod)
+	g := &Grid{
+		cfg:      cfg,
+		obj:      schedule.Objective{Lambda: cfg.Lambda},
+		ls:       ls,
+		jobs:     make([]jobSlot, cfg.JobCap),
+		machs:    make([]machSlot, cfg.MachCap),
+		byID:     make(map[uint64]int32),
+		machByID: make(map[uint64]int),
+	}
+	g.inst = g.blankInstance(cfg.JobCap)
+	g.parkKeys = make([]uint64, cfg.JobCap)
+	p := g.park()
+	for s := 0; s < cfg.JobCap; s++ {
+		g.parkSeq++
+		g.parkKeys[s] = g.parkSeq
+		g.inst.Set(s, p, g.parkVal(g.parkSeq))
+	}
+	g.st = schedule.NewState(g.inst, g.parkedSchedule(cfg.JobCap))
+	g.st.SetScanExempt(p, true)
+	g.free = make([]int32, 0, cfg.JobCap)
+	for s := 0; s < cfg.JobCap; s++ {
+		g.free = append(g.free, int32(s))
+	}
+	return g, nil
+}
+
+// parkVal maps a park sequence number to its parking-column ETC.
+func (g *Grid) parkVal(seq uint64) float64 { return float64(seq) * parkEps }
+
+// park is the parking machine's column index.
+func (g *Grid) park() int { return g.cfg.MachCap }
+
+// blankInstance allocates a capacity instance with blockETC on every real
+// column. The parking column is left zero — every caller assigns each
+// row's park cell (the slot's park key or blockETC) before the instance
+// reaches a State.
+func (g *Grid) blankInstance(jobCap int) *etc.Instance {
+	in := etc.New("gridd", jobCap, g.cfg.MachCap+1)
+	p := g.park()
+	for s := 0; s < jobCap; s++ {
+		for m := 0; m < p; m++ {
+			in.Set(s, m, blockETC)
+		}
+	}
+	return in
+}
+
+func (g *Grid) parkedSchedule(jobCap int) schedule.Schedule {
+	sched := make(schedule.Schedule, jobCap)
+	p := g.park()
+	for s := range sched {
+		sched[s] = p
+	}
+	return sched
+}
+
+// pairNoise maps (job id, machine id) to a stable multiplier in
+// [1, PairInconsistency) — the same construction as gridsim.Sim, so a
+// simulation exported as an event log sees the same ETC structure when
+// replayed through the daemon.
+func (g *Grid) pairNoise(jobID, machID uint64) float64 {
+	if g.cfg.PairInconsistency == 1 {
+		return 1
+	}
+	x := jobID*0x9e3779b97f4a7c15 ^ machID*0xbf58476d1ce4e5b9 ^ g.cfg.Seed
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	u := float64(x>>11) / (1 << 53)
+	return 1 + u*(g.cfg.PairInconsistency-1)
+}
+
+// etcOf is the deterministic expected time of a job on a machine.
+func (g *Grid) etcOf(jobID uint64, base float64, m *machSlot) float64 {
+	return base * m.mult * g.pairNoise(jobID, m.id)
+}
+
+// Applied returns the sequence number of the last applied event.
+func (g *Grid) Applied() uint64 { return g.applied }
+
+// Counters returns the grid's monotonic statistics.
+func (g *Grid) Counters() Counters { return g.counters }
+
+// LastPlacements returns the placements committed by the most recent
+// admission window. The slice is reused across admissions.
+func (g *Grid) LastPlacements() []Placement { return g.lastPlaced }
+
+// Live returns the number of placed jobs, pending jobs and alive
+// machines.
+func (g *Grid) Live() (placed, pending, machines int) {
+	for i := range g.machs {
+		if g.machs[i].alive {
+			machines++
+		}
+	}
+	p := 0
+	for i := range g.jobs {
+		if g.jobs[i].state == slotPlaced {
+			p++
+		}
+	}
+	return p, len(g.pending), machines
+}
+
+// Quality returns the live schedule's makespan and flowtime over the
+// real machines only (the parking column's parked-slot residue, ~1e-6
+// per parked slot, is excluded by construction).
+func (g *Grid) Quality() (makespan, flowtime float64) {
+	for m := 0; m < g.cfg.MachCap; m++ {
+		if c := g.st.Completion(m); c > makespan {
+			makespan = c
+		}
+		flowtime += g.machFlow(m)
+	}
+	return makespan, flowtime
+}
+
+// machFlow sums job completion times on real machine m from the state's
+// prefix caches (the machine's own flowtime contribution).
+func (g *Grid) machFlow(m int) float64 {
+	jobs := g.st.JobsOn(m)
+	f := 0.0
+	t := 0.0
+	for _, j := range jobs {
+		t += g.inst.At(int(j), m)
+		f += t
+	}
+	return f
+}
+
+// JobInfo reports one job's externally visible state.
+type JobInfo struct {
+	ID    uint64  `json:"id"`
+	State string  `json:"state"` // "pending", "placed", "done"/"unknown"
+	Base  float64 `json:"base,omitempty"`
+	Mach  uint64  `json:"mach,omitempty"` // machine id when placed
+}
+
+// Job looks up a job by id.
+func (g *Grid) Job(id uint64) JobInfo {
+	s, ok := g.byID[id]
+	if !ok {
+		if id >= 1 && id < g.nextJobID {
+			return JobInfo{ID: id, State: "done"}
+		}
+		return JobInfo{ID: id, State: "unknown"}
+	}
+	js := &g.jobs[s]
+	info := JobInfo{ID: id, Base: js.base}
+	switch js.state {
+	case slotPending:
+		info.State = "pending"
+	case slotPlaced:
+		info.State = "placed"
+		info.Mach = g.machs[g.st.Assign(int(s))].id
+	}
+	return info
+}
+
+// Apply validates e against the current state and applies it. On error
+// the grid is unchanged. The event's sequence number, when set, must be
+// the next one (applied+1); zero means "assign next".
+func (g *Grid) Apply(e eventlog.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if e.Seq != 0 && e.Seq != g.applied+1 {
+		return fmt.Errorf("daemon: event seq %d, want %d", e.Seq, g.applied+1)
+	}
+	var err error
+	switch e.Type {
+	case eventlog.Submit:
+		err = g.applySubmit(e)
+	case eventlog.Join:
+		err = g.applyJoin(e)
+	case eventlog.Leave, eventlog.Fail:
+		err = g.applyLeave(e)
+	case eventlog.Complete:
+		err = g.applyComplete(e)
+	case eventlog.Admit:
+		err = g.applyAdmit()
+	}
+	if err != nil {
+		return err
+	}
+	g.applied++
+	return nil
+}
+
+// NextJobID returns the id the next submitted job will receive.
+func (g *Grid) NextJobID() uint64 { return g.nextJobID + 1 }
+
+// NextMachID returns the id the next joining machine will receive.
+func (g *Grid) NextMachID() uint64 { return g.nextMachID + 1 }
+
+func (g *Grid) applySubmit(e eventlog.Event) error {
+	if e.Job != g.nextJobID+1 {
+		return fmt.Errorf("daemon: submit job id %d, want %d", e.Job, g.nextJobID+1)
+	}
+	if len(g.free) == 0 {
+		g.grow()
+	}
+	s := g.free[len(g.free)-1]
+	g.free = g.free[:len(g.free)-1]
+	g.nextJobID++
+	g.jobs[s] = jobSlot{id: e.Job, base: e.Base, state: slotPending}
+	g.byID[e.Job] = s
+	g.pending = append(g.pending, s)
+	// Fill the row for the machines alive now; later joins rewrite their
+	// column. The parking column keeps the slot's park key until
+	// placement. The row of a parked slot is invisible to the live state
+	// beyond that untouched cell, so this needs no invalidation.
+	for m := range g.machs {
+		if g.machs[m].alive {
+			g.inst.Set(int(s), m, g.etcOf(e.Job, e.Base, &g.machs[m]))
+		} else {
+			g.inst.Set(int(s), m, blockETC)
+		}
+	}
+	g.counters.Submitted++
+	return nil
+}
+
+func (g *Grid) applyJoin(e eventlog.Event) error {
+	if e.Mach != g.nextMachID+1 {
+		return fmt.Errorf("daemon: join machine id %d, want %d", e.Mach, g.nextMachID+1)
+	}
+	slot := -1
+	for m := range g.machs {
+		if !g.machs[m].alive && !g.machs[m].departed && len(g.st.JobsOn(m)) == 0 {
+			slot = m
+			break
+		}
+	}
+	if slot < 0 {
+		return fmt.Errorf("daemon: machine capacity %d exhausted", g.cfg.MachCap)
+	}
+	g.nextMachID++
+	g.machs[slot] = machSlot{id: e.Mach, mult: e.Mult, alive: true}
+	g.machByID[e.Mach] = slot
+	// Rewrite the column for every occupied row. The machine is empty, so
+	// no list order depends on the old column; invalidating the machine
+	// forces cached scans involving it to recompute.
+	for s := range g.jobs {
+		if g.jobs[s].state != slotFree {
+			g.inst.Set(s, slot, g.etcOf(g.jobs[s].id, g.jobs[s].base, &g.machs[slot]))
+		}
+	}
+	g.st.InvalidateMachine(slot)
+	g.st.SyncScans()
+	g.counters.Joined++
+	return nil
+}
+
+func (g *Grid) applyLeave(e eventlog.Event) error {
+	slot, ok := g.machByID[e.Mach]
+	if !ok || !g.machs[slot].alive {
+		return fmt.Errorf("daemon: machine %d not alive", e.Mach)
+	}
+	alive := 0
+	for m := range g.machs {
+		if g.machs[m].alive {
+			alive++
+		}
+	}
+	if alive == 1 && len(g.st.JobsOn(slot)) > 0 {
+		return fmt.Errorf("daemon: machine %d is the last alive machine with jobs", e.Mach)
+	}
+	g.machs[slot].alive = false
+	g.machs[slot].departed = true
+	delete(g.machByID, e.Mach)
+	if e.Type == eventlog.Fail {
+		g.counters.Restarts += uint64(len(g.st.JobsOn(slot)))
+	}
+	g.counters.Left++
+	// The jobs stay physically on the dead slot until the next admission
+	// re-pools and re-places them; no search runs in between, so the
+	// stale completion is never consulted.
+	return nil
+}
+
+func (g *Grid) applyComplete(e eventlog.Event) error {
+	s, ok := g.byID[e.Job]
+	if !ok {
+		return fmt.Errorf("daemon: job %d not live", e.Job)
+	}
+	js := &g.jobs[s]
+	p := g.park()
+	if js.state == slotPlaced {
+		// The producer's machine id, when present, is advisory: a
+		// replayed log's producer scheduled independently. A fresh park
+		// key puts the slot at the tail of the parking list, so the Move
+		// is an O(1) append there.
+		g.parkSeq++
+		g.parkKeys[s] = g.parkSeq
+		g.inst.Set(int(s), p, g.parkVal(g.parkSeq))
+		g.st.Move(int(s), p)
+		g.st.SyncScans()
+		g.st.RefreshFlowtime()
+	} else {
+		// Completed while pending (e.g. orphaned here but finished by the
+		// producer's executor): drop it from the pending queue.
+		for i, ps := range g.pending {
+			if ps == s {
+				g.pending = append(g.pending[:i], g.pending[i+1:]...)
+				break
+			}
+		}
+		if g.st.Assign(int(s)) != p {
+			// Pending but physically stranded on a departed machine (an
+			// admission ran with zero alive machines): park it before the
+			// slot is recycled, or a later submission would inherit a
+			// live assignment.
+			g.parkSeq++
+			g.parkKeys[s] = g.parkSeq
+			g.inst.Set(int(s), p, g.parkVal(g.parkSeq))
+			g.st.Move(int(s), p)
+			g.st.SyncScans()
+			g.st.RefreshFlowtime()
+		}
+	}
+	for m := 0; m < p; m++ {
+		g.inst.Set(int(s), m, blockETC)
+	}
+	delete(g.byID, e.Job)
+	g.jobs[s] = jobSlot{}
+	g.free = append(g.free, s)
+	g.counters.Completed++
+	return nil
+}
+
+// applyAdmit closes the admission window: re-pool jobs stranded on
+// departed machines, place every pending job (greedy MCT on a scratch
+// completion view, lowest-index ties), commit the whole batch through
+// SetScheduleDiff — dirtying only the touched machines — and run the
+// bounded warm-start improvement pass over the live scan cache.
+func (g *Grid) applyAdmit() error {
+	g.counters.Admits++
+	g.lastPlaced = g.lastPlaced[:0]
+
+	// Re-pool: jobs on departed machines go back to pending, in list
+	// order (JobsOn is (ETC, id)-ordered — deterministic). A job already
+	// pending was re-pooled by an earlier window that found no machine to
+	// place it on; don't queue it twice.
+	for m := range g.machs {
+		if !g.machs[m].departed {
+			continue
+		}
+		for _, s := range g.st.JobsOn(m) {
+			if g.jobs[s].state == slotPending {
+				continue
+			}
+			g.jobs[s].state = slotPending
+			g.pending = append(g.pending, s)
+			g.counters.Rebalance++
+		}
+	}
+
+	aliveMachs := make([]int, 0, len(g.machs))
+	for m := range g.machs {
+		if g.machs[m].alive {
+			aliveMachs = append(aliveMachs, m)
+		}
+	}
+	if len(aliveMachs) == 0 {
+		// Nothing to place against; pending jobs wait, departed slots
+		// keep their stranded jobs until a machine exists.
+		return nil
+	}
+
+	// Greedy MCT placement over a scratch completion view.
+	placed := g.pending
+	if len(g.pending) > 0 {
+		cand := g.st.Schedule()
+		comp := make([]float64, len(g.machs))
+		for _, m := range aliveMachs {
+			comp[m] = g.st.Completion(m)
+		}
+		for _, s := range g.pending {
+			best, bestC := -1, math.Inf(1)
+			for _, m := range aliveMachs {
+				if c := comp[m] + g.inst.At(int(s), m); c < bestC {
+					best, bestC = m, c
+				}
+			}
+			cand[s] = best
+			comp[best] += g.inst.At(int(s), best)
+			g.jobs[s].state = slotPlaced
+		}
+		g.st.SetScheduleDiff(cand)
+		g.st.SyncScans()
+		// Placed jobs must not be parkable by the search.
+		p := g.park()
+		for _, s := range g.pending {
+			g.inst.Set(int(s), p, blockETC)
+		}
+		g.counters.Placed += uint64(len(g.pending))
+		g.pending = nil // placed aliases the old backing array until the window ends
+	}
+
+	// Departed slots are empty now; block their columns and invalidate.
+	for m := range g.machs {
+		if !g.machs[m].departed {
+			continue
+		}
+		for s := range g.jobs {
+			if g.jobs[s].state != slotFree {
+				g.inst.Set(s, m, blockETC)
+			}
+		}
+		g.machs[m].departed = false
+		g.st.InvalidateMachine(m)
+	}
+
+	// Warm-start improvement: the scan cache re-sweeps only the machines
+	// this window dirtied.
+	if g.cfg.LSIters > 0 {
+		g.r.Reseed(g.cfg.Seed ^ g.counters.Admits*0x9e3779b97f4a7c15)
+		g.ls.Improve(g.st, g.obj, g.cfg.LSIters, &g.r)
+	}
+	g.st.SyncScans()
+	g.st.RefreshFlowtime()
+	// Report placements as they stand after the improvement pass — the
+	// search may have moved a job off its greedy machine.
+	for _, s := range placed {
+		g.lastPlaced = append(g.lastPlaced, Placement{
+			Job:  g.jobs[s].id,
+			Mach: g.machs[g.st.Assign(int(s))].id,
+		})
+	}
+	g.pending = placed[:0]
+	return nil
+}
+
+// grow doubles the job capacity: a new instance and state carrying the
+// current assignment, every new slot free and parked. This is the one
+// cold restart in the grid's life (the scan cache re-warms on the next
+// queries); it is deterministic — triggered purely by the event stream —
+// and amortised by the doubling.
+func (g *Grid) grow() {
+	oldCap := len(g.jobs)
+	newCap := oldCap * 2
+	inst := g.blankInstance(newCap)
+	p := g.park()
+	for s := 0; s < oldCap; s++ {
+		// Park cells carry the slot's park key (or blockETC when placed)
+		// for free and occupied slots alike — the parking list order is
+		// part of the trajectory.
+		inst.Set(s, p, g.inst.At(s, p))
+		if g.jobs[s].state == slotFree {
+			continue
+		}
+		for m := 0; m < p; m++ {
+			inst.Set(s, m, g.inst.At(s, m))
+		}
+	}
+	g.parkKeys = append(g.parkKeys, make([]uint64, newCap-oldCap)...)
+	for s := oldCap; s < newCap; s++ {
+		g.parkSeq++
+		g.parkKeys[s] = g.parkSeq
+		inst.Set(s, p, g.parkVal(g.parkSeq))
+	}
+	sched := g.parkedSchedule(newCap)
+	old := g.st.ScheduleView()
+	copy(sched, old)
+	g.inst = inst
+	g.st = schedule.NewState(inst, sched)
+	g.st.SetScanExempt(p, true)
+	g.jobs = append(g.jobs, make([]jobSlot, newCap-oldCap)...)
+	for s := oldCap; s < newCap; s++ {
+		g.free = append(g.free, int32(s))
+	}
+	g.counters.Grows++
+}
+
+// Digest returns a hex SHA-256 over the grid's canonical value state:
+// counters, job and machine records, the assignment vector and the raw
+// float bits of every real machine completion and the state flowtime.
+// Two grids with equal digests are bit-identical as schedulers; the
+// replay tests compare digest trajectories.
+func (g *Grid) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	u := func(v uint64) { binary.LittleEndian.PutUint64(buf[:], v); h.Write(buf[:]) }
+	f := func(v float64) { u(math.Float64bits(v)) }
+	u(g.nextJobID)
+	u(g.nextMachID)
+	u(g.applied)
+	u(g.counters.Admits)
+	u(g.parkSeq)
+	u(uint64(len(g.jobs)))
+	for s := range g.jobs {
+		u(g.jobs[s].id)
+		u(uint64(g.jobs[s].state))
+		u(g.parkKeys[s])
+		f(g.jobs[s].base)
+	}
+	for m := range g.machs {
+		u(g.machs[m].id)
+		f(g.machs[m].mult)
+		b := uint64(0)
+		if g.machs[m].alive {
+			b = 1
+		}
+		if g.machs[m].departed {
+			b |= 2
+		}
+		u(b)
+	}
+	for _, s := range g.pending {
+		u(uint64(s))
+	}
+	for _, s := range g.free {
+		u(uint64(s))
+	}
+	view := g.st.ScheduleView()
+	for _, m := range view {
+		u(uint64(m))
+	}
+	for m := 0; m <= g.cfg.MachCap; m++ {
+		f(g.st.Completion(m))
+	}
+	f(g.st.Flowtime())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// LiveInstance extracts the current placed jobs and alive machines as a
+// clean batch instance (no parking column, no capacity slack) plus the
+// live assignment mapped onto it — the input a cold re-solve would see.
+// Returns nil when no jobs are placed or no machine is alive.
+func (g *Grid) LiveInstance() (*etc.Instance, schedule.Schedule) {
+	var slots []int32
+	for s := range g.jobs {
+		if g.jobs[s].state == slotPlaced {
+			slots = append(slots, int32(s))
+		}
+	}
+	var machs []int
+	machIdx := make([]int, len(g.machs))
+	for m := range g.machs {
+		machIdx[m] = -1
+		if g.machs[m].alive {
+			machIdx[m] = len(machs)
+			machs = append(machs, m)
+		}
+	}
+	if len(slots) == 0 || len(machs) == 0 {
+		return nil, nil
+	}
+	in := etc.New(fmt.Sprintf("gridd-live-%d", g.counters.Admits), len(slots), len(machs))
+	sched := make(schedule.Schedule, len(slots))
+	for i, s := range slots {
+		for k, m := range machs {
+			in.Set(i, k, g.inst.At(int(s), m))
+		}
+		sched[i] = machIdx[g.st.Assign(int(s))]
+	}
+	in.Finalize()
+	return in, sched
+}

@@ -1,0 +1,414 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gridcma/internal/eventlog"
+)
+
+// ServerConfig parameterises a Daemon around a Grid.
+type ServerConfig struct {
+	Grid Config `json:"grid"`
+	// Window is the admission ticker period; admissions also fire when
+	// AdmitPending submissions are waiting. Zero disables the ticker —
+	// admissions then happen only via AdmitPending or explicit requests.
+	Window time.Duration `json:"window"`
+	// AdmitPending closes the admission window as soon as this many jobs
+	// are pending (0 = ticker/explicit only).
+	AdmitPending int `json:"admit_pending"`
+	// LogPath appends every applied event to a write-ahead log; empty
+	// disables persistence. The file is created if missing. The log is
+	// buffered and flushed on snapshot, stop and admission boundaries.
+	LogPath string `json:"log_path,omitempty"`
+}
+
+// Daemon wraps a Grid with the HTTP API, the write-ahead event log and
+// the admission timer. All grid access is serialised by one mutex; the
+// timer only decides when an admit event is appended, so the trajectory
+// stays a pure function of the persisted event sequence.
+type Daemon struct {
+	cfg ServerConfig
+
+	mu      sync.Mutex
+	g       *Grid
+	wal     *eventlog.Writer
+	walFile *os.File
+
+	// Latency accounting (wall clock; observability only, never state).
+	submitAt  map[uint64]time.Time
+	placeLat  []float64 // submit→placement seconds, one per placed job
+	admitWall []float64 // wall seconds per admission window
+	started   time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewDaemon builds a daemon around a fresh grid.
+func NewDaemon(cfg ServerConfig) (*Daemon, error) {
+	g, err := NewGrid(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	return NewDaemonWith(g, cfg)
+}
+
+// NewDaemonWith builds a daemon around an existing (e.g. restored) grid.
+// When cfg.LogPath is set, the log is opened for append and the writer
+// continues from the grid's applied sequence number.
+func NewDaemonWith(g *Grid, cfg ServerConfig) (*Daemon, error) {
+	d := &Daemon{
+		cfg:      cfg,
+		g:        g,
+		submitAt: make(map[uint64]time.Time),
+		started:  time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if cfg.LogPath != "" {
+		f, err := os.OpenFile(cfg.LogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		d.walFile = f
+		d.wal = eventlog.NewWriterAt(f, g.Applied())
+	}
+	return d, nil
+}
+
+// Start launches the admission ticker (when configured).
+func (d *Daemon) Start() {
+	if d.cfg.Window <= 0 {
+		close(d.done)
+		return
+	}
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(d.cfg.Window)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.mu.Lock()
+				if _, pending, _ := d.g.Live(); pending > 0 {
+					d.applyLocked(eventlog.Event{Type: eventlog.Admit})
+				}
+				d.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker and flushes/closes the write-ahead log.
+func (d *Daemon) Stop() error {
+	close(d.stop)
+	<-d.done
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flushLocked(true)
+}
+
+func (d *Daemon) flushLocked(closeFile bool) error {
+	if d.wal == nil {
+		return nil
+	}
+	if err := d.wal.Flush(); err != nil {
+		return err
+	}
+	if closeFile {
+		err := d.walFile.Close()
+		d.wal, d.walFile = nil, nil
+		return err
+	}
+	return d.walFile.Sync()
+}
+
+// applyLocked stamps e with the producer timestamp, persists it and
+// applies it to the grid; d.mu must be held. Admission events additionally
+// record wall-clock metrics: window latency and per-job submit→placement
+// latency.
+func (d *Daemon) applyLocked(e eventlog.Event) (eventlog.Event, error) {
+	e.Seq = 0 // stamped below; clients cannot pick sequence numbers
+	e.T = time.Since(d.started).Seconds()
+	if d.wal != nil {
+		stamped, err := d.wal.Append(e)
+		if err != nil {
+			return e, err
+		}
+		e = stamped
+	}
+	var t0 time.Time
+	if e.Type == eventlog.Admit {
+		t0 = time.Now()
+	}
+	if err := d.g.Apply(e); err != nil {
+		// The WAL now holds an event the grid rejected; replay tolerates
+		// this (Apply validates), but surface it loudly.
+		return e, err
+	}
+	switch e.Type {
+	case eventlog.Submit:
+		d.submitAt[e.Job] = time.Now()
+	case eventlog.Admit:
+		now := time.Now()
+		d.admitWall = append(d.admitWall, now.Sub(t0).Seconds())
+		for _, p := range d.g.LastPlacements() {
+			if at, ok := d.submitAt[p.Job]; ok {
+				d.placeLat = append(d.placeLat, now.Sub(at).Seconds())
+				delete(d.submitAt, p.Job)
+			}
+		}
+		if d.wal != nil {
+			d.wal.Flush()
+		}
+	}
+	return e, nil
+}
+
+// maybeAdmitLocked closes the window if the pending threshold is reached.
+func (d *Daemon) maybeAdmitLocked() bool {
+	if d.cfg.AdmitPending <= 0 {
+		return false
+	}
+	if _, pending, _ := d.g.Live(); pending >= d.cfg.AdmitPending {
+		d.applyLocked(eventlog.Event{Type: eventlog.Admit})
+		return true
+	}
+	return false
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /submit   {"bases":[...]} or {"base":x,"count":n} → job ids
+//	POST /event    one event object or an array (submit/join auto-id)
+//	GET  /query    ?job=ID → job state
+//	GET  /snapshot → full snapshot JSON (flushes the log first)
+//	GET  /stats    → counters, live sizes, quality, latency percentiles
+//	POST /admit    → force an admission window close
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /submit", d.handleSubmit)
+	mux.HandleFunc("POST /event", d.handleEvent)
+	mux.HandleFunc("GET /query", d.handleQuery)
+	mux.HandleFunc("GET /snapshot", d.handleSnapshot)
+	mux.HandleFunc("GET /stats", d.handleStats)
+	mux.HandleFunc("POST /admit", d.handleAdmit)
+	mux.HandleFunc("GET /coldcheck", d.handleColdCheck)
+	return mux
+}
+
+func (d *Daemon) handleColdCheck(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	cc, _ := d.g.ColdResolve()
+	d.mu.Unlock()
+	writeJSON(w, cc)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// SubmitRequest is the body of POST /submit.
+type SubmitRequest struct {
+	Bases []float64 `json:"bases,omitempty"`
+	Base  float64   `json:"base,omitempty"`
+	Count int       `json:"count,omitempty"`
+}
+
+// SubmitResponse reports the assigned job ids and whether the batch
+// tripped an admission.
+type SubmitResponse struct {
+	IDs      []uint64 `json:"ids"`
+	Admitted bool     `json:"admitted"`
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding submit: %v", err)
+		return
+	}
+	bases := req.Bases
+	if len(bases) == 0 {
+		if req.Count <= 0 {
+			req.Count = 1
+		}
+		for i := 0; i < req.Count; i++ {
+			bases = append(bases, req.Base)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := SubmitResponse{IDs: make([]uint64, 0, len(bases))}
+	for _, b := range bases {
+		e := eventlog.Event{Type: eventlog.Submit, Job: d.g.NextJobID(), Base: b}
+		if _, err := d.applyLocked(e); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.IDs = append(resp.IDs, e.Job)
+	}
+	resp.Admitted = d.maybeAdmitLocked()
+	writeJSON(w, resp)
+}
+
+func (d *Daemon) handleEvent(w http.ResponseWriter, r *http.Request) {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding event: %v", err)
+		return
+	}
+	var events []eventlog.Event
+	if len(raw) > 0 && raw[0] == '[' {
+		if err := json.Unmarshal(raw, &events); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding event array: %v", err)
+			return
+		}
+	} else {
+		var e eventlog.Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding event: %v", err)
+			return
+		}
+		events = []eventlog.Event{e}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	applied := make([]eventlog.Event, 0, len(events))
+	for _, e := range events {
+		// Convenience: producers may leave ids to the daemon.
+		if e.Type == eventlog.Submit && e.Job == 0 {
+			e.Job = d.g.NextJobID()
+		}
+		if e.Type == eventlog.Join && e.Mach == 0 {
+			e.Mach = d.g.NextMachID()
+		}
+		stamped, err := d.applyLocked(e)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "event %d of batch: %v", len(applied), err)
+			return
+		}
+		applied = append(applied, stamped)
+	}
+	d.maybeAdmitLocked()
+	writeJSON(w, applied)
+}
+
+func (d *Daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.URL.Query().Get("job"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "query: bad job id: %v", err)
+		return
+	}
+	d.mu.Lock()
+	info := d.g.Job(id)
+	d.mu.Unlock()
+	writeJSON(w, info)
+}
+
+func (d *Daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.flushLocked(false); err != nil {
+		httpError(w, http.StatusInternalServerError, "flushing log: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	d.g.WriteSnapshot(w)
+}
+
+func (d *Daemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	e, err := d.applyLocked(eventlog.Event{Type: eventlog.Admit})
+	placed := len(d.g.LastPlacements())
+	d.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"seq": e.Seq, "placed": placed})
+}
+
+// Stats is the body of GET /stats.
+type Stats struct {
+	Applied   uint64   `json:"applied"`
+	Counters  Counters `json:"counters"`
+	Placed    int      `json:"placed"`
+	Pending   int      `json:"pending"`
+	Machines  int      `json:"machines"`
+	Makespan  float64  `json:"makespan"`
+	Flowtime  float64  `json:"flowtime"`
+	Latency   LatStats `json:"latency"`
+	AdmitWall LatStats `json:"admit_wall"`
+	UptimeS   float64  `json:"uptime_s"`
+}
+
+// LatStats summarises a wall-clock sample set in milliseconds.
+type LatStats struct {
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// summarize computes count/mean/p50/p99 over seconds samples.
+func summarize(samples []float64) LatStats {
+	s := LatStats{Count: len(samples)}
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i] * 1e3
+	}
+	s.P50Ms = q(0.50)
+	s.P99Ms = q(0.99)
+	s.MeanMs = sum / float64(len(sorted)) * 1e3
+	return s
+}
+
+// StatsNow builds the current stats under the daemon lock.
+func (d *Daemon) StatsNow() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	placed, pending, machines := d.g.Live()
+	mk, fl := d.g.Quality()
+	return Stats{
+		Applied:   d.g.Applied(),
+		Counters:  d.g.Counters(),
+		Placed:    placed,
+		Pending:   pending,
+		Machines:  machines,
+		Makespan:  mk,
+		Flowtime:  fl,
+		Latency:   summarize(d.placeLat),
+		AdmitWall: summarize(d.admitWall),
+		UptimeS:   time.Since(d.started).Seconds(),
+	}
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, d.StatsNow())
+}

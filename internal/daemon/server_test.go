@@ -1,0 +1,257 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridcma/internal/eventlog"
+)
+
+func newTestDaemon(t *testing.T, cfg ServerConfig) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		if err := d.Stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	})
+	return d, srv
+}
+
+func postJSON(t *testing.T, url string, body, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSubmitQueryStats(t *testing.T) {
+	cfg := ServerConfig{Grid: testConfig(), AdmitPending: 4}
+	_, srv := newTestDaemon(t, cfg)
+
+	var joined []eventlog.Event
+	postJSON(t, srv.URL+"/event", []map[string]any{
+		{"type": "join", "mult": 1},
+		{"type": "join", "mult": 2},
+	}, &joined)
+	if len(joined) != 2 || joined[0].Mach != 1 || joined[1].Mach != 2 {
+		t.Fatalf("joins came back %+v", joined)
+	}
+
+	var sr SubmitResponse
+	postJSON(t, srv.URL+"/submit", SubmitRequest{Bases: []float64{2, 3, 4, 5}}, &sr)
+	if len(sr.IDs) != 4 || sr.IDs[0] != 1 {
+		t.Fatalf("submit ids %v", sr.IDs)
+	}
+	if !sr.Admitted {
+		t.Fatal("4 pending with AdmitPending=4 did not admit")
+	}
+
+	var info JobInfo
+	getJSON(t, srv.URL+"/query?job=2", &info)
+	if info.State != "placed" || info.Mach == 0 {
+		t.Fatalf("job 2 after admission: %+v", info)
+	}
+
+	var stats Stats
+	getJSON(t, srv.URL+"/stats", &stats)
+	if stats.Placed != 4 || stats.Counters.Admits != 1 || stats.Machines != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.Latency.Count != 4 || stats.Latency.P99Ms < 0 {
+		t.Fatalf("latency stats %+v", stats.Latency)
+	}
+	if stats.Makespan <= 0 || stats.Makespan >= blockETC/2 {
+		t.Fatalf("stats makespan %v", stats.Makespan)
+	}
+
+	// Invalid events surface as client errors, not daemon state changes.
+	before := stats.Applied
+	if resp := postJSON(t, srv.URL+"/event", map[string]any{"type": "leave", "mach": 99}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad leave: status %v", resp.Status)
+	}
+	getJSON(t, srv.URL+"/stats", &stats)
+	if stats.Applied != before {
+		t.Fatal("rejected event advanced the applied sequence")
+	}
+}
+
+// TestServerRestartReplaysByteIdentical is the CI smoke contract: run a
+// daemon with a write-ahead log, snapshot mid-stream, keep running, then
+// build a second daemon from the snapshot plus the log suffix and compare
+// full snapshots byte for byte.
+func TestServerRestartReplaysByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "gridd.log")
+	cfg := ServerConfig{Grid: testConfig(), AdmitPending: 3, LogPath: logPath}
+	_, srv := newTestDaemon(t, cfg)
+
+	postJSON(t, srv.URL+"/event", []map[string]any{
+		{"type": "join", "mult": 1}, {"type": "join", "mult": 2}, {"type": "join", "mult": 1},
+	}, nil)
+	postJSON(t, srv.URL+"/submit", SubmitRequest{Bases: []float64{2, 3, 4, 5, 6}}, nil)
+
+	// Mid-stream snapshot (also flushes the log).
+	resp, err := http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var midSnap bytes.Buffer
+	if _, err := midSnap.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Keep going: complete, fail a machine, more submissions, admissions.
+	postJSON(t, srv.URL+"/event", []map[string]any{
+		{"type": "complete", "job": 1},
+		{"type": "fail", "mach": 2},
+	}, nil)
+	postJSON(t, srv.URL+"/submit", SubmitRequest{Bases: []float64{7, 8, 9}}, nil)
+	postJSON(t, srv.URL+"/admit", struct{}{}, nil)
+
+	var finalLive bytes.Buffer
+	resp, err = http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := finalLive.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Restore the mid-stream snapshot and replay the log suffix.
+	restored, err := ReadSnapshot(bytes.NewReader(midSnap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := eventlog.Read(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for _, e := range events {
+		if e.Seq <= restored.Applied() {
+			continue
+		}
+		if err := restored.Apply(e); err != nil {
+			t.Fatalf("replaying %+v: %v", e, err)
+		}
+		replayed++
+	}
+	if replayed == 0 {
+		t.Fatal("log held no suffix past the snapshot")
+	}
+	var restoredSnap bytes.Buffer
+	if err := restored.WriteSnapshot(&restoredSnap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(finalLive.Bytes(), restoredSnap.Bytes()) {
+		t.Fatalf("restored snapshot differs from live:\nlive     %s\nrestored %s",
+			strings.TrimSpace(finalLive.String()), strings.TrimSpace(restoredSnap.String()))
+	}
+}
+
+// TestServerColdCheck pins the warm-vs-cold comparison endpoint: it
+// reports the same live set the grid holds, and does not mutate state.
+func TestServerColdCheck(t *testing.T) {
+	cfg := ServerConfig{Grid: testConfig(), AdmitPending: 8}
+	d, srv := newTestDaemon(t, cfg)
+
+	postJSON(t, srv.URL+"/event", []map[string]any{
+		{"type": "join", "mult": 1}, {"type": "join", "mult": 3},
+	}, nil)
+	postJSON(t, srv.URL+"/submit", SubmitRequest{Bases: []float64{2, 2, 3, 3, 4, 4, 5, 5}}, nil)
+
+	before := d.g.Digest()
+	var cc ColdCheck
+	getJSON(t, srv.URL+"/coldcheck", &cc)
+	if cc.Jobs != 8 || cc.Machines != 2 {
+		t.Fatalf("coldcheck saw %dx%d, want 8x2", cc.Jobs, cc.Machines)
+	}
+	if cc.ColdMakespan <= 0 || cc.WarmMakespan <= 0 {
+		t.Fatalf("coldcheck quality %+v", cc)
+	}
+	if d.g.Digest() != before {
+		t.Fatal("cold re-solve mutated the live grid")
+	}
+}
+
+// TestRunLoadSmall runs the load harness end to end against an in-process
+// daemon: real HTTP, thousands of submissions, steady-state completions,
+// cold sampling — the same path the million-job artifact uses.
+func TestRunLoadSmall(t *testing.T) {
+	cfg := ServerConfig{Grid: testConfig(), AdmitPending: 32}
+	cfg.Grid.JobCap = 256
+	_, srv := newTestDaemon(t, cfg)
+
+	row, err := RunLoad(LoadConfig{
+		BaseURL:    srv.URL,
+		Jobs:       3000,
+		Machines:   8,
+		LiveTarget: 128,
+		Batch:      64,
+		ColdEvery:  10,
+		Seed:       5,
+	}, cfg.AdmitPending, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Placed < uint64(row.Jobs) {
+		t.Fatalf("placed %d of %d submissions", row.Placed, row.Jobs)
+	}
+	if row.LatP50Ms <= 0 || row.LatP99Ms < row.LatP50Ms {
+		t.Fatalf("latency percentiles p50=%v p99=%v", row.LatP50Ms, row.LatP99Ms)
+	}
+	if row.ColdSamples == 0 || row.ColdMeanMs <= 0 {
+		t.Fatalf("no cold samples in %+v", row)
+	}
+	if row.WarmMakespan <= 0 || row.ColdMakespan <= 0 {
+		t.Fatalf("missing quality columns in %+v", row)
+	}
+	t.Logf("small load: %.0f jobs/s, p50 %.2fms p99 %.2fms, warm %.3fms cold %.3fms (%.1fx), mk ratio %.3f",
+		row.ThroughputPS, row.LatP50Ms, row.LatP99Ms, row.WarmAdmitMeanMs, row.ColdMeanMs, row.WarmSpeedup, row.MakespanRatio)
+}

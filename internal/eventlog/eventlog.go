@@ -1,0 +1,173 @@
+// Package eventlog defines the shared trace schema of the online
+// scheduling stack: the append-only event stream a gridd daemon applies
+// (and persists) and the export format of the gridsim discrete-event
+// simulator, so a recorded simulation replays deterministically through
+// the daemon and a daemon incident replays from a snapshot plus its log.
+//
+// The log is JSON lines — one event per line, in application order, each
+// stamped with a strictly increasing sequence number. Events carry only
+// the inputs of the scheduler's deterministic state transition (job ids
+// and workloads, machine ids and speeds); the timestamp field is
+// informational (simulated or wall-clock time of the producer) and never
+// feeds a transition, which is what makes "same snapshot + same log →
+// bit-identical trajectory" a contract rather than an aspiration.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Type enumerates the event vocabulary.
+type Type string
+
+// The six event kinds of the online scheduling stack.
+const (
+	// Submit introduces one job: Job (id assigned by the producer,
+	// 1-based) and Base (the per-job workload factor of the ETC model).
+	Submit Type = "submit"
+	// Join brings machine Mach (1-based id, never reused) online with
+	// slowness multiplier Mult (≥ 1; 1 is fastest).
+	Join Type = "join"
+	// Leave takes machine Mach offline gracefully; its jobs are re-pooled
+	// for the next admission.
+	Leave Type = "leave"
+	// Fail is Leave under failure semantics: same transition, but the
+	// re-pooled jobs count as restarts.
+	Fail Type = "fail"
+	// Complete reports job Job finished. Mach, when set, names the
+	// machine the producer ran it on — advisory only, since a replaying
+	// consumer schedules independently and may have placed the job
+	// elsewhere.
+	Complete Type = "complete"
+	// Admit closes an admission window: the scheduler places every
+	// pending job and runs its warm-start improvement pass.
+	Admit Type = "admit"
+)
+
+// Event is one line of the log. Zero-valued fields are omitted from the
+// encoding; Seq is assigned by the Writer.
+type Event struct {
+	Seq  uint64  `json:"seq,omitempty"`
+	T    float64 `json:"t,omitempty"` // producer time, informational
+	Type Type    `json:"type"`
+	Job  uint64  `json:"job,omitempty"`
+	Base float64 `json:"base,omitempty"`
+	Mach uint64  `json:"mach,omitempty"`
+	Mult float64 `json:"mult,omitempty"`
+}
+
+// Validate reports the first structural error of e: unknown type, or a
+// missing/invalid field for the type. It does not (and cannot) check
+// consistency against scheduler state — that is the consumer's job.
+func (e Event) Validate() error {
+	switch e.Type {
+	case Submit:
+		if e.Job == 0 {
+			return fmt.Errorf("eventlog: submit without job id")
+		}
+		if e.Base < 1 {
+			return fmt.Errorf("eventlog: submit job %d base %v, want >= 1", e.Job, e.Base)
+		}
+	case Join:
+		if e.Mach == 0 {
+			return fmt.Errorf("eventlog: join without machine id")
+		}
+		if e.Mult < 1 {
+			return fmt.Errorf("eventlog: join machine %d mult %v, want >= 1", e.Mach, e.Mult)
+		}
+	case Leave, Fail:
+		if e.Mach == 0 {
+			return fmt.Errorf("eventlog: %s without machine id", e.Type)
+		}
+	case Complete:
+		if e.Job == 0 {
+			return fmt.Errorf("eventlog: complete without job id")
+		}
+	case Admit:
+		// no payload
+	default:
+		return fmt.Errorf("eventlog: unknown event type %q", e.Type)
+	}
+	return nil
+}
+
+// Writer appends events to a log, assigning sequence numbers.
+type Writer struct {
+	bw  *bufio.Writer
+	seq uint64
+}
+
+// NewWriter wraps w as an event log writer starting at sequence 1.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// NewWriterAt wraps w continuing an existing log whose last applied
+// sequence number is seq — the restore-from-snapshot path.
+func NewWriterAt(w io.Writer, seq uint64) *Writer {
+	return &Writer{bw: bufio.NewWriter(w), seq: seq}
+}
+
+// Append validates e, stamps the next sequence number and writes one log
+// line. The stamped event is returned so the caller can apply exactly
+// what was persisted.
+func (w *Writer) Append(e Event) (Event, error) {
+	if err := e.Validate(); err != nil {
+		return Event{}, err
+	}
+	w.seq++
+	e.Seq = w.seq
+	b, err := json.Marshal(e)
+	if err != nil {
+		return Event{}, err
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return Event{}, err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}
+
+// Seq returns the sequence number of the last appended event.
+func (w *Writer) Seq() uint64 { return w.seq }
+
+// Flush drains the write buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Read parses a whole log. Events must be valid and their sequence
+// numbers strictly increasing; blank lines are skipped.
+func Read(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	var last uint64
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("eventlog: line %d: %v", line, err)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("eventlog: line %d: %v", line, err)
+		}
+		if e.Seq <= last {
+			return nil, fmt.Errorf("eventlog: line %d: sequence %d not after %d", line, e.Seq, last)
+		}
+		last = e.Seq
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -22,11 +22,11 @@
 package gridsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
 	"gridcma/internal/etc"
+	"gridcma/internal/eventlog"
 	"gridcma/internal/rng"
 	"gridcma/internal/schedule"
 )
@@ -82,6 +82,19 @@ type Config struct {
 	// the given explicit arrivals (see SampleTrace / ReadTrace). All
 	// other randomness (machine speeds, churn) still comes from Seed.
 	Trace []Arrival
+	// Record, when set, is called with every externally meaningful
+	// transition of the simulation — machine joins (including the initial
+	// fleet at time 0), admitted job arrivals, scheduler activations,
+	// completions and machine departures — as daemon event-log records in
+	// execution order: a valid, sequential gridd event stream (ids are the
+	// simulator's shifted to 1-based, Seq left 0 for the consumer to
+	// stamp, T the simulated time). Departures are emitted as Fail events
+	// because a leave loses its running job, which is gridd's fail
+	// semantics. Replaying the stream through a daemon Grid reproduces
+	// the simulated workload exactly; the placements differ (the daemon
+	// schedules with its own warm-start path, the simulator with its
+	// Policy), which is what makes the pair comparable.
+	Record func(eventlog.Event)
 }
 
 // DefaultConfig returns a moderate dynamic scenario: ~1000 jobs over 1000
@@ -165,23 +178,55 @@ type event struct {
 	mach int // evCompletion: machine id
 }
 
+// eventQueue is a binary min-heap of events ordered by (time, sequence).
+// It is typed end to end — push and pop traffic in event values, not the
+// boxed interface{} of container/heap, so the hot simulation loop does
+// no per-event allocation.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].t != q[j].t {
 		return q[i].t < q[j].t
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		next := left
+		if right := left + 1; right < n && h.less(right, left) {
+			next = right
+		}
+		if !h.less(next, i) {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	return top
 }
 
 type jobState int
@@ -276,7 +321,7 @@ func (s *Sim) push(t float64, k evKind, jobID, machID int) {
 		return
 	}
 	s.seq++
-	heap.Push(&s.events, event{t: t, seq: s.seq, kind: k, job: jobID, mach: machID})
+	s.events.push(event{t: t, seq: s.seq, kind: k, job: jobID, mach: machID})
 }
 
 func (s *Sim) addMachine(t float64) *machine {
@@ -288,7 +333,15 @@ func (s *Sim) addMachine(t float64) *machine {
 		running: -1,
 	}
 	s.machs = append(s.machs, m)
+	s.record(eventlog.Event{T: t, Type: eventlog.Join, Mach: uint64(m.id) + 1, Mult: m.mult})
 	return m
+}
+
+// record emits e to the Config.Record hook when one is installed.
+func (s *Sim) record(e eventlog.Event) {
+	if s.cfg.Record != nil {
+		s.cfg.Record(e)
+	}
 }
 
 // etcOf returns the deterministic expected time of job j on machine m:
@@ -313,8 +366,8 @@ func (s *Sim) pairNoise(jobID, machID int) float64 {
 
 // Run drives the simulation to the horizon and returns its metrics.
 func (s *Sim) Run() Metrics {
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 {
+		e := s.events.pop()
 		s.now = e.t
 		switch e.kind {
 		case evArrival:
@@ -353,6 +406,7 @@ func (s *Sim) onArrival(traceIdx int) {
 		}
 		s.jobs = append(s.jobs, j)
 		s.metrics.JobsArrived++
+		s.record(eventlog.Event{T: s.now, Type: eventlog.Submit, Job: uint64(j.id) + 1, Base: base})
 	}
 	if traceIdx < 0 {
 		s.push(s.exp(s.cfg.ArrivalRate), evArrival, -1, 0)
@@ -393,6 +447,7 @@ func (s *Sim) onActivation() {
 		return
 	}
 	s.metrics.Activations++
+	s.record(eventlog.Event{T: s.now, Type: eventlog.Admit})
 
 	in := etc.New(fmt.Sprintf("activation-%d@%.1f", s.metrics.Activations, s.now), len(batch), len(machs))
 	for bi, j := range batch {
@@ -453,6 +508,7 @@ func (s *Sim) onCompletion(jid, mid int) {
 	j.finished = s.now
 	m.running = -1
 	s.metrics.JobsCompleted++
+	s.record(eventlog.Event{T: s.now, Type: eventlog.Complete, Job: uint64(jid) + 1})
 	if s.now > s.metrics.Makespan {
 		s.metrics.Makespan = s.now
 	}
@@ -475,6 +531,7 @@ func (s *Sim) onLeave() {
 	m.alive = false
 	m.left = s.now
 	s.metrics.MachinesLeft++
+	s.record(eventlog.Event{T: s.now, Type: eventlog.Fail, Mach: uint64(m.id) + 1})
 	// Running job is lost (non-preemptive restart) and queued jobs are
 	// re-pooled for the next activation.
 	if m.running >= 0 {

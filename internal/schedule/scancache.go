@@ -166,7 +166,7 @@ func (sc *ScanCache) BestCriticalSwap() (float64, int, int) {
 	bestVal := math.Inf(1)
 	bestAPos, bestB := int32(-1), int32(-1)
 	for m := range sc.entryEpoch {
-		if m == crit {
+		if m == crit || (st.scanExempt != nil && st.scanExempt[m]) {
 			continue
 		}
 		if sc.entryEpoch[m] != st.machEpoch[m] {

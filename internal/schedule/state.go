@@ -65,6 +65,17 @@ type State struct {
 	sweepB   []float64
 	swapScan SwapScan
 
+	// Scratch of SetScheduleDiff: changed job ids, changed machine ids and
+	// the per-machine membership mark. Pure scratch like the sweep buffers
+	// (lazily grown, empty between calls, not part of the state's value).
+	diffJobs  []int32
+	diffMachs []int32
+	diffMark  []bool
+
+	// scanExempt[m] excludes machine m from the cached critical-swap
+	// sweep (SetScanExempt). Nil when no machine is exempt.
+	scanExempt []bool
+
 	// sampleIDs backs the batched sampled-partner draws of
 	// SampledLMCTSBatch (localsearch): partner ids drawn upfront, sorted
 	// machine-grouped, scanned through BeginSwapScanIDs.
@@ -266,6 +277,31 @@ func (st *State) PendingDirty() int { return len(st.dirtyIDs) }
 // commit or drain.
 func (st *State) DirtyMachines() []int32 { return st.dirtyIDs }
 
+// SetScanExempt excludes machine m from (or re-admits it to) the cached
+// critical-swap sweep: BestCriticalSwap never scans an exempt machine's
+// jobs and never proposes a swap involving them. The caller asserts that
+// no such swap can ever be accepted anyway — the use case is a host
+// keeping placeholder jobs on a dedicated machine whose swap candidates
+// are all blocked by construction (huge ETC entries), as the online
+// scheduler daemon does with its parking column. Exempting a machine
+// whose jobs could win an improving swap silently narrows the search
+// neighborhood; the bit-identity contract then reads "equals a full
+// rescan over the non-exempt machines".
+//
+// The flag is part of the state's search configuration, not its value:
+// Clone carries it over, CopyFrom leaves the destination's flags alone,
+// and no epoch moves — cached entries stay valid, they are simply
+// skipped (and re-validated by epoch as usual if re-admitted).
+func (st *State) SetScanExempt(m int, exempt bool) {
+	if st.scanExempt == nil {
+		if !exempt {
+			return
+		}
+		st.scanExempt = make([]bool, len(st.machJobs))
+	}
+	st.scanExempt[m] = exempt
+}
+
 // Epoch returns the state's mutation counter; MachEpoch the epoch of
 // machine m's last content change. A cached per-machine result computed
 // at MachEpoch(m) stays exact while that value is unchanged.
@@ -435,6 +471,116 @@ func (st *State) SetSchedule(s Schedule) {
 	st.rebuild()
 }
 
+// SetScheduleDiff replaces the schedule like SetSchedule but by diffing s
+// against the current assignment: only jobs whose machine changed are
+// re-listed, only machines whose job sets changed are refreshed, and only
+// those machines advance to a fresh epoch and enter the dirty set (plus
+// the old and new critical machine when the tournament root moves,
+// mirroring the Move/Swap commit hook). Every cached scan result of an
+// untouched machine therefore stays valid — the warm-start admission path
+// of the online daemon and cache-aware island migration both depend on
+// this, where SetSchedule's wholesale epoch bump would cold-start the
+// event-driven scan cache on every batch commit.
+//
+// The resulting value state is bit-identical to SetSchedule(s): the
+// per-machine job lists are (ETC, id)-sorted sets, so they are order
+// independent of how the diff is applied; refreshMachine resums each
+// changed machine with the exact arithmetic rebuild uses; and the state
+// flowtime is re-folded canonically (Σ machFlow in ascending machine
+// order — rebuild's own accumulation order) rather than diff-adjusted,
+// which keeps the fitness bits equal to a from-scratch evaluation. Only
+// the epoch/dirty bookkeeping differs, by design. Pinned by the
+// differential tests in statediff_test.go.
+func (st *State) SetScheduleDiff(s Schedule) {
+	if err := s.Validate(st.inst); err != nil {
+		panic(err)
+	}
+	if st.diffMark == nil {
+		st.diffMark = make([]bool, len(st.machJobs))
+	}
+	st.diffJobs = st.diffJobs[:0]
+	st.diffMachs = st.diffMachs[:0]
+	for j, m := range s {
+		from := st.assign[j]
+		if from == m {
+			continue
+		}
+		st.diffJobs = append(st.diffJobs, int32(j))
+		if !st.diffMark[from] {
+			st.diffMark[from] = true
+			st.diffMachs = append(st.diffMachs, int32(from))
+		}
+		if !st.diffMark[m] {
+			st.diffMark[m] = true
+			st.diffMachs = append(st.diffMachs, int32(m))
+		}
+	}
+	if len(st.diffJobs) == 0 {
+		return
+	}
+	crit := st.top.argmax()
+	// Remove in descending job order: a removal shifts only the list tail
+	// behind it, so draining a long (e.g. parking) machine back to front
+	// touches each surviving element at most once.
+	for i := len(st.diffJobs) - 1; i >= 0; i-- {
+		j := st.diffJobs[i]
+		st.remove(int(j), st.assign[j])
+	}
+	for _, j := range st.diffJobs {
+		to := s[j]
+		st.assign[j] = to
+		st.insert(int(j), to)
+	}
+	st.epoch++
+	for _, m := range st.diffMachs {
+		st.diffMark[m] = false
+		st.machEpoch[m] = st.epoch
+		st.markDirty(int(m))
+		st.refreshMachine(int(m))
+	}
+	st.flowtime = 0
+	for m := range st.machFlow {
+		st.flowtime += st.machFlow[m]
+	}
+	if critAfter := st.top.argmax(); critAfter != crit {
+		st.markDirty(crit)
+		st.markDirty(critAfter)
+	}
+}
+
+// InvalidateMachine advances machine m to a fresh epoch and marks it
+// dirty without touching its contents. Callers that mutate inputs the
+// state cannot observe — the online daemon rewrites a machine's ETC
+// column when grid membership changes — use it to force every cached
+// scan result involving the machine to be recomputed on the next query.
+// The machine must hold no jobs whose list order the rewritten column
+// would change; the daemon guarantees that by only rewriting columns of
+// empty (joined or vacated) machines.
+func (st *State) InvalidateMachine(m int) {
+	st.epoch++
+	st.machEpoch[m] = st.epoch
+	st.markDirty(m)
+}
+
+// RefreshFlowtime re-folds the state flowtime canonically: Σ machFlow in
+// ascending machine order, the exact accumulation rebuild performs. Move
+// and Swap maintain flowtime with a subtract-then-add update whose float
+// bits drift from the canonical fold over long commit sequences (the
+// value is exact to rounding either way); a checkpointing caller — the
+// daemon canonicalises at every event boundary — refolds so that a state
+// restored from a snapshot (which rebuilds, and therefore folds) is
+// bit-identical to the live state it was taken from. The per-machine
+// flows are refreshMachine products and need no refold. The state epoch
+// advances so cached fitness contexts recapture; machine contents are
+// untouched, so no machine epoch moves and no dirty mark is added.
+func (st *State) RefreshFlowtime() {
+	st.flowtime = 0
+	for m := range st.machFlow {
+		st.flowtime += st.machFlow[m]
+	}
+	st.epoch++
+}
+
 // Clone returns an independent copy of the state.
 func (st *State) Clone() *State {
 	cp := &State{
@@ -452,6 +598,9 @@ func (st *State) Clone() *State {
 		machEpoch:  append([]uint64(nil), st.machEpoch...),
 		dirtyIDs:   make([]int32, 0, len(st.machJobs)),
 		dirtyMark:  make([]bool, len(st.machJobs)),
+	}
+	if st.scanExempt != nil {
+		cp.scanExempt = append([]bool(nil), st.scanExempt...)
 	}
 	for m, jobs := range st.machJobs {
 		cp.machJobs[m] = append([]int32(nil), jobs...)
