@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridcma/internal/eventlog"
@@ -47,8 +48,10 @@ type Daemon struct {
 	admitWall []float64 // wall seconds per admission window
 	started   time.Time
 
-	stop chan struct{}
-	done chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	ticking  atomic.Bool // ticker goroutine launched; Stop must await done
 }
 
 // NewDaemon builds a daemon around a fresh grid.
@@ -83,10 +86,10 @@ func NewDaemonWith(g *Grid, cfg ServerConfig) (*Daemon, error) {
 	return d, nil
 }
 
-// Start launches the admission ticker (when configured).
+// Start launches the admission ticker (when configured). Redundant calls
+// are no-ops.
 func (d *Daemon) Start() {
-	if d.cfg.Window <= 0 {
-		close(d.done)
+	if d.cfg.Window <= 0 || !d.ticking.CompareAndSwap(false, true) {
 		return
 	}
 	go func() {
@@ -108,10 +111,14 @@ func (d *Daemon) Start() {
 	}()
 }
 
-// Stop halts the ticker and flushes/closes the write-ahead log.
+// Stop halts the ticker and flushes/closes the write-ahead log. It is
+// safe to call more than once and without a prior Start; only the first
+// call closes the log.
 func (d *Daemon) Stop() error {
-	close(d.stop)
-	<-d.done
+	d.stopOnce.Do(func() { close(d.stop) })
+	if d.ticking.Load() {
+		<-d.done
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.flushLocked(true)
@@ -132,28 +139,34 @@ func (d *Daemon) flushLocked(closeFile bool) error {
 	return d.walFile.Sync()
 }
 
-// applyLocked stamps e with the producer timestamp, persists it and
-// applies it to the grid; d.mu must be held. Admission events additionally
-// record wall-clock metrics: window latency and per-job submit→placement
-// latency.
+// applyLocked stamps e with the producer timestamp, applies it to the
+// grid and then persists it; d.mu must be held. The grid goes first: a
+// rejected event (structurally valid but inconsistent with grid state —
+// a leave of an unknown machine, a duplicate complete) must not consume
+// a WAL sequence number, or every later event would be stamped one ahead
+// of the grid's applied counter and rejected forever. Apply leaves the
+// grid unchanged on error, so the pre-stamped sequence number stays free
+// for the next event. Admission events additionally record wall-clock
+// metrics: window latency and per-job submit→placement latency.
 func (d *Daemon) applyLocked(e eventlog.Event) (eventlog.Event, error) {
 	e.Seq = 0 // stamped below; clients cannot pick sequence numbers
 	e.T = time.Since(d.started).Seconds()
 	if d.wal != nil {
-		stamped, err := d.wal.Append(e)
-		if err != nil {
-			return e, err
-		}
-		e = stamped
+		e.Seq = d.wal.Seq() + 1
 	}
 	var t0 time.Time
 	if e.Type == eventlog.Admit {
 		t0 = time.Now()
 	}
 	if err := d.g.Apply(e); err != nil {
-		// The WAL now holds an event the grid rejected; replay tolerates
-		// this (Apply validates), but surface it loudly.
 		return e, err
+	}
+	if d.wal != nil {
+		if _, err := d.wal.Append(e); err != nil {
+			// The grid advanced but the log did not: the log file is
+			// failing and durability is gone — surface it loudly.
+			return e, fmt.Errorf("daemon: event %d applied but not persisted: %w", e.Seq, err)
+		}
 	}
 	switch e.Type {
 	case eventlog.Submit:
@@ -253,13 +266,27 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			bases = append(bases, req.Base)
 		}
 	}
+	// Validate the whole batch before applying any of it: a mid-batch
+	// rejection would leave earlier submissions applied (and persisted)
+	// with their ids unreported.
+	for i, b := range bases {
+		if b < 1 {
+			httpError(w, http.StatusBadRequest, "submit: bases[%d] = %v, want >= 1", i, b)
+			return
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	resp := SubmitResponse{IDs: make([]uint64, 0, len(bases))}
 	for _, b := range bases {
 		e := eventlog.Event{Type: eventlog.Submit, Job: d.g.NextJobID(), Base: b}
 		if _, err := d.applyLocked(e); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			// Only I/O failures reach here (the batch pre-validated);
+			// report the ids already applied so the client can tell a
+			// partial batch from a rejected one.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "ids": resp.IDs})
 			return
 		}
 		resp.IDs = append(resp.IDs, e.Job)
@@ -323,14 +350,21 @@ func (d *Daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// Externalise under the lock, write to the client outside it: a slow
+	// snapshot reader must not stall submissions and the admission ticker
+	// for the duration of the network write.
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.flushLocked(false); err != nil {
+	err := d.flushLocked(false)
+	var snap *Snapshot
+	if err == nil {
+		snap = d.g.Snapshot()
+	}
+	d.mu.Unlock()
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, "flushing log: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	d.g.WriteSnapshot(w)
+	writeJSON(w, snap)
 }
 
 func (d *Daemon) handleAdmit(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"gridcma/internal/eventlog"
 )
@@ -192,6 +193,112 @@ func TestServerRestartReplaysByteIdentical(t *testing.T) {
 	if !bytes.Equal(finalLive.Bytes(), restoredSnap.Bytes()) {
 		t.Fatalf("restored snapshot differs from live:\nlive     %s\nrestored %s",
 			strings.TrimSpace(finalLive.String()), strings.TrimSpace(restoredSnap.String()))
+	}
+}
+
+// TestServerWALSurvivesRejectedEvent pins the write-ahead sequencing
+// contract: a structurally valid but state-invalid event (a leave of an
+// unknown machine) must not consume a log sequence number. The daemon
+// keeps accepting events afterwards, the log holds exactly the applied
+// events contiguously numbered, and replaying it reproduces the live
+// digest.
+func TestServerWALSurvivesRejectedEvent(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "gridd.log")
+	cfg := ServerConfig{Grid: testConfig(), AdmitPending: 2, LogPath: logPath}
+	d, srv := newTestDaemon(t, cfg)
+
+	postJSON(t, srv.URL+"/event", map[string]any{"type": "join", "mult": 1}, nil)
+	if resp := postJSON(t, srv.URL+"/event", map[string]any{"type": "leave", "mach": 9}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("leave of unknown machine: status %v", resp.Status)
+	}
+	// The rejected event consumed no sequence number: later events must
+	// still apply (and trip the admission threshold).
+	var sr SubmitResponse
+	if resp := postJSON(t, srv.URL+"/submit", SubmitRequest{Bases: []float64{2, 3}}, &sr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit after rejected event: status %v", resp.Status)
+	}
+	if !sr.Admitted {
+		t.Fatal("submit after rejected event did not admit")
+	}
+	liveDigest := d.g.Digest()
+	applied := d.g.Applied()
+	srv.Close()
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := eventlog.Read(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(events)) != applied {
+		t.Fatalf("log holds %d events, grid applied %d", len(events), applied)
+	}
+	g, err := NewGrid(cfg.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Seq != g.Applied()+1 {
+			t.Fatalf("log seq %d after applied %d: rejected event consumed a sequence number", e.Seq, g.Applied())
+		}
+		if err := g.Apply(e); err != nil {
+			t.Fatalf("replaying seq %d: %v", e.Seq, err)
+		}
+	}
+	if got := g.Digest(); got != liveDigest {
+		t.Fatalf("replayed digest %s != live digest %s", got, liveDigest)
+	}
+}
+
+// TestServerSubmitRejectsWholeBatch pins all-or-nothing submission: a bad
+// base anywhere in the batch rejects the whole request before any
+// submission is applied, so the client never loses ids to a half-applied
+// batch.
+func TestServerSubmitRejectsWholeBatch(t *testing.T) {
+	cfg := ServerConfig{Grid: testConfig()}
+	d, srv := newTestDaemon(t, cfg)
+
+	if resp := postJSON(t, srv.URL+"/submit", SubmitRequest{Bases: []float64{2, 0.5, 3}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch with invalid base: status %v", resp.Status)
+	}
+	if a, c := d.g.Applied(), d.g.Counters().Submitted; a != 0 || c != 0 {
+		t.Fatalf("rejected batch applied events: applied=%d submitted=%d", a, c)
+	}
+}
+
+// TestDaemonStopLifecycle pins the Stop contract: Stop without Start
+// returns immediately, repeated Stop is a no-op, and Stop after Start
+// joins the ticker goroutine.
+func TestDaemonStopLifecycle(t *testing.T) {
+	d, err := NewDaemon(ServerConfig{Grid: testConfig(), Window: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: must not block on the ticker goroutine.
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDaemon(ServerConfig{Grid: testConfig(), Window: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Start()
+	d2.Start() // redundant Start is a no-op
+	if err := d2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Stop(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -153,6 +153,12 @@ func (sc *ScanCache) BestCriticalSwap() (float64, int, int) {
 	sc.sync()
 	st := sc.st
 	crit := st.MakespanMachine()
+	if st.scanExempt != nil && st.scanExempt[crit] {
+		// An exempt machine's jobs are never scanned — when the exempt
+		// machine is itself critical (the daemon's parking column with no
+		// jobs placed on real machines), no swap involves it either.
+		return math.Inf(1), -1, -1
+	}
 	critJobs := st.machJobs[crit]
 	if len(critJobs) == 0 {
 		return math.Inf(1), -1, -1

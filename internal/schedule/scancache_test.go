@@ -126,6 +126,31 @@ func TestCachedMoveProbesMatchScalar(t *testing.T) {
 	}
 }
 
+// TestScanExemptCriticalMachine pins that exemption covers both sides of
+// the critical-swap scan: an exempt machine is skipped as a sweep
+// partner, and when it is itself the critical machine its jobs are not
+// swept as swap sources either — the query reports no candidate, per the
+// SetScanExempt contract that no proposed swap ever involves an exempt
+// machine. Re-admitting the machine restores the full-sweep winner.
+func TestScanExemptCriticalMachine(t *testing.T) {
+	in := scanInstances()[0]
+	r := rng.New(990)
+	st := NewState(in, NewRandom(in, r))
+	sc := st.Scans(DefaultObjective)
+	crit := st.MakespanMachine()
+	st.SetScanExempt(crit, true)
+	if v, a, b := sc.BestCriticalSwap(); !math.IsInf(v, 1) || a != -1 || b != -1 {
+		t.Fatalf("exempt critical machine still scanned: (%v,%d,%d)", v, a, b)
+	}
+	st.SetScanExempt(crit, false)
+	gv, ga, gb := sc.BestCriticalSwap()
+	mirror := NewState(in, st.Schedule())
+	wv, wa, wb := refCriticalSwap(mirror)
+	if gv != wv || ga != wa || gb != wb {
+		t.Fatalf("re-admitted scan (%x,%d,%d) != full sweep (%x,%d,%d)", gv, ga, gb, wv, wa, wb)
+	}
+}
+
 // TestBestMoveTargetMatchesSweepFold pins the cache's steepest-transfer
 // helper against a direct fold over the move sweep.
 func TestBestMoveTargetMatchesSweepFold(t *testing.T) {
