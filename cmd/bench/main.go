@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -102,8 +103,38 @@ func main() {
 		workers = flag.String("workers", "", "comma-separated worker ladder for cma-par (default 1,GOMAXPROCS)")
 		grid    = flag.String("grid", "8x8", "population grid WxH of the measured cMA engines")
 		algos   = flag.String("algos", "", "comma-separated row filter (default all): engine names cma, cma-par, cma-sync, sampled-lmcts-batch, sa-sweep, tabu-sweep and micro groups probes, sweeps, cached-scan")
+
+		frontier      = flag.Bool("frontier", false, "run the large-instance ladder instead of the engine matrix; writes BENCH_frontier.json")
+		frontierSpecs = flag.String("ladder", "", "comma-separated GenSpec ladder for -frontier (default "+defaultFrontierLadder+")")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	iterations := *iters
 	if *quick {
@@ -120,6 +151,18 @@ func main() {
 	allow, err := parseAlgos(*algos)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *frontier {
+		l := *frontierSpecs
+		if l == "" {
+			l = defaultFrontierLadder
+			if *quick {
+				l = quickFrontierLadder
+			}
+		}
+		runFrontier(l, *out, gw, gh, iterations, *seed, *quick)
+		return
 	}
 
 	instances, err := buildInstances(*quick)

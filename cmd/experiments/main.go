@@ -7,7 +7,9 @@
 //	experiments -run fig3 -csv out/          # also dump CSV series
 //
 // Experiments: table1 table2 table3 table4 table5 fig2 fig3 fig4 fig5
-// robustness all.
+// robustness all. Beyond the paper: heuristics, takeover, and frontier —
+// the scaling ladder over synthetic GenSpec instances (opt-in only, never
+// part of "all"; override the ladder with -specs).
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"gridcma/internal/experiments"
@@ -32,6 +35,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
 		maxTime = flag.Duration("time", 0, "wall-clock budget per run (overrides -iters)")
 		csvDir  = flag.String("csv", "", "directory to also write CSV output into")
+		specs   = flag.String("specs", "", "comma-separated GenSpec ladder for -run frontier (e.g. 8192x128:c_hihi:s1,32768x256)")
 	)
 	flag.Parse()
 
@@ -134,6 +138,18 @@ func main() {
 	if runner("heuristics") {
 		h, c := experiments.HeuristicsCells(experiments.HeuristicsTable())
 		emit("heuristics", "constructive heuristic makespans (baseline panorama)", h, c)
+	}
+	if *what == "frontier" { // opt-in only: generated large instances, not the paper's suite
+		var ladder []string
+		if *specs != "" {
+			for _, s := range strings.Split(*specs, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					ladder = append(ladder, s)
+				}
+			}
+		}
+		h, c := experiments.FrontierCells(experiments.Frontier(o, ladder))
+		emit("frontier", "tuned cMA on synthetic large instances (scaling ladder)", h, c)
 	}
 	if runner("takeover") {
 		curves, err := experiments.TakeoverStudy(*seed)

@@ -46,6 +46,7 @@ func main() {
 		live      = flag.Int("live", 2048, "load: steady-state in-flight jobs")
 		batch     = flag.Int("batch", 512, "load: submissions per HTTP request")
 		coldEvery = flag.Int("cold-every", 25, "load: sample a cold re-solve every N batches")
+		cvb       = flag.String("cvb", "", "load: CVB gamma task bases, \"hi\" or \"lo\" (default: uniform integers)")
 		out       = flag.String("out", "BENCH_gridd.json", "load: benchmark report path")
 
 		selfcheck = flag.Bool("selfcheck", false, "run the snapshot/restart/replay smoke check and exit")
@@ -71,7 +72,7 @@ func main() {
 			fatal(err)
 		}
 	case *load:
-		if err := runLoad(scfg, *jobs, *machines, *live, *batch, *coldEvery, *out); err != nil {
+		if err := runLoad(scfg, *jobs, *machines, *live, *batch, *coldEvery, *cvb, *out); err != nil {
 			fatal(err)
 		}
 	default:
@@ -151,7 +152,7 @@ func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
 
 // runLoad spins an in-process daemon on a loopback port and drives it
 // with the HTTP load harness, writing the benchmark report.
-func runLoad(cfg daemon.ServerConfig, jobs, machines, live, batch, coldEvery int, out string) error {
+func runLoad(cfg daemon.ServerConfig, jobs, machines, live, batch, coldEvery int, cvb, out string) error {
 	cfg.Window = 0 // admissions purely threshold-driven: deterministic event stream
 	d, err := daemon.NewDaemon(cfg)
 	if err != nil {
@@ -181,6 +182,7 @@ func runLoad(cfg daemon.ServerConfig, jobs, machines, live, batch, coldEvery int
 		Batch:      batch,
 		ColdEvery:  coldEvery,
 		Seed:       cfg.Grid.Seed,
+		CVB:        cvb,
 	}, cfg.AdmitPending, func(done int) {
 		if time.Since(lastTick) > 5*time.Second {
 			lastTick = time.Now()

@@ -3,6 +3,7 @@
 //
 //	gridsched -instance u_c_hihi.0 -alg cma -time 5s
 //	gridsched -file my.etc -alg minmin
+//	gridsched -gen 100000x1000:c_hihi:s7 -alg cma -time 60s
 //	gridsched -instance u_i_lolo.0 -alg struggle-ga -iters 2000 -runs 5
 //	gridsched -instance u_c_hihi.0 -race cma,sa,tabu -time 2s
 //
@@ -36,6 +37,7 @@ func main() {
 	var (
 		instName = flag.String("instance", "", "benchmark instance name (e.g. u_c_hihi.0)")
 		file     = flag.String("file", "", "instance file in benchmark text format")
+		gen      = flag.String("gen", "", "synthetic instance spec <jobs>x<machs>[:<class>][:s<seed>][:f32], e.g. 100000x1000:c_hihi:s7")
 		alg      = flag.String("alg", "cma", "algorithm to run (see -list)")
 		race     = flag.String("race", "", "comma-separated portfolio to race (overrides -alg)")
 		maxTime  = flag.Duration("time", 0, "wall-clock budget (e.g. 90s)")
@@ -59,7 +61,7 @@ func main() {
 		return
 	}
 
-	in, err := loadInstance(*instName, *file)
+	in, err := loadInstance(*instName, *file, *gen)
 	if err != nil {
 		fatal(err)
 	}
@@ -211,10 +213,22 @@ func finish(st *schedule.State, gantt bool, export string) {
 	}
 }
 
-func loadInstance(name, file string) (*gridcma.Instance, error) {
+func loadInstance(name, file, gen string) (*gridcma.Instance, error) {
+	set := 0
+	for _, s := range []string{name, file, gen} {
+		if s != "" {
+			set++
+		}
+	}
 	switch {
-	case name != "" && file != "":
-		return nil, fmt.Errorf("specify only one of -instance and -file")
+	case set > 1:
+		return nil, fmt.Errorf("specify only one of -instance, -file and -gen")
+	case gen != "":
+		g, err := etc.ParseGenSpec(gen)
+		if err != nil {
+			return nil, err
+		}
+		return g.Generate()
 	case file != "":
 		return etc.ReadFile(file)
 	case name != "":

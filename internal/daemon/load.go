@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"gridcma/internal/etc"
 	"gridcma/internal/heuristics"
 	"gridcma/internal/rng"
 	"gridcma/internal/schedule"
@@ -96,6 +97,12 @@ type LoadConfig struct {
 	// TaskRange and MachRange bound the generated bases and multipliers.
 	TaskRange int `json:"task_range"`
 	MachRange int `json:"mach_range"`
+	// CVB selects the frontier generator's gamma task-base model instead
+	// of small uniform integers: "hi" or "lo" (CV 0.6 / 0.1 around mean
+	// etc.GenTaskMean). Empty keeps the legacy uniform workload; the CVB
+	// stream is seeded independently, so enabling it does not perturb the
+	// machine-speed draws.
+	CVB string `json:"cvb,omitempty"`
 }
 
 // LoadRow is one benchmark artifact row: scale, throughput, placement
@@ -105,6 +112,8 @@ type LoadRow struct {
 	Machines   int `json:"machines"`
 	LiveTarget int `json:"live_target"`
 	Window     int `json:"window"`
+	// Workload names the task-base model: "uniform" or "cvb-hi"/"cvb-lo".
+	Workload string `json:"workload"`
 
 	ElapsedS     float64 `json:"elapsed_s"`
 	ThroughputPS float64 `json:"throughput_jobs_per_s"`
@@ -195,6 +204,19 @@ func RunLoad(cfg LoadConfig, window int, progress func(done int)) (*LoadRow, err
 	if cfg.MachRange <= 0 {
 		cfg.MachRange = 3
 	}
+	// The CVB base stream is drawn from its own seed offset so that
+	// switching workloads leaves the legacy draws (machine multipliers)
+	// bit-identical.
+	var cvbBase func() float64
+	switch cfg.CVB {
+	case "":
+	case "hi":
+		cvbBase = etc.BaseStream(cfg.Seed^0xcbb5eed, etc.High)
+	case "lo":
+		cvbBase = etc.BaseStream(cfg.Seed^0xcbb5eed, etc.Low)
+	default:
+		return nil, fmt.Errorf("daemon: load cvb %q: want \"hi\", \"lo\" or empty", cfg.CVB)
+	}
 	lc := &loadClient{base: cfg.BaseURL, c: &http.Client{Timeout: 5 * time.Minute}}
 	r := rng.New(cfg.Seed)
 
@@ -219,8 +241,14 @@ func RunLoad(cfg LoadConfig, window int, progress func(done int)) (*LoadRow, err
 			n = rem
 		}
 		bases := make([]float64, n)
-		for i := range bases {
-			bases[i] = float64(1 + r.Intn(cfg.TaskRange))
+		if cvbBase != nil {
+			for i := range bases {
+				bases[i] = cvbBase()
+			}
+		} else {
+			for i := range bases {
+				bases[i] = float64(1 + r.Intn(cfg.TaskRange))
+			}
 		}
 		var sr SubmitResponse
 		if err := lc.post("/submit", SubmitRequest{Bases: bases}, &sr); err != nil {
@@ -277,11 +305,16 @@ func RunLoad(cfg LoadConfig, window int, progress func(done int)) (*LoadRow, err
 	}
 	snapResp.Body.Close()
 
+	workload := "uniform"
+	if cfg.CVB != "" {
+		workload = "cvb-" + cfg.CVB
+	}
 	row := &LoadRow{
 		Jobs:            cfg.Jobs,
 		Machines:        cfg.Machines,
 		LiveTarget:      cfg.LiveTarget,
 		Window:          window,
+		Workload:        workload,
 		ElapsedS:        elapsed,
 		ThroughputPS:    float64(cfg.Jobs) / elapsed,
 		Admits:          stats.Counters.Admits,

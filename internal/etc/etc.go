@@ -160,6 +160,13 @@ type Instance struct {
 	// machine j. A flat slice keeps the hot evaluation loops cache-
 	// friendly and allocation-free.
 	ETC []float64
+	// ETC32 is the opt-in narrow backing for frontier-scale matrices
+	// (GenSpec.Float32): the same row-major layout in float32, halving
+	// the matrix footprint (100k×1k drops from 800MB to 400MB). Exactly
+	// one of ETC and ETC32 is non-nil; At dispatches on which, and every
+	// evaluation kernel reads entries as float64 after a single widening
+	// conversion, so all downstream arithmetic stays in float64.
+	ETC32 []float32
 	// Ready[j] is the time machine j becomes available. The Braun
 	// benchmark uses all-zero ready times; the dynamic simulator supplies
 	// non-zero ones.
@@ -167,6 +174,7 @@ type Instance struct {
 
 	workload []float64 // mean ETC per job (lazily built by Finalize)
 	speed    []float64 // 1 / mean ETC per machine
+	genSpec  GenSpec   // spec that last filled this instance (GenerateInto)
 }
 
 // New allocates an Instance with the given dimensions, zero ETC entries and
@@ -184,40 +192,110 @@ func New(name string, jobs, machs int) *Instance {
 	}
 }
 
-// At returns ETC[job][mach].
+// New32 allocates an Instance with the float32 ETC backing (see ETC32),
+// zero entries and zero ready times. Call Finalize after filling ETC32.
+func New32(name string, jobs, machs int) *Instance {
+	if jobs <= 0 || machs <= 0 {
+		panic(fmt.Sprintf("etc: invalid dimensions %d×%d", jobs, machs))
+	}
+	return &Instance{
+		Name:  name,
+		Jobs:  jobs,
+		Machs: machs,
+		ETC32: make([]float32, jobs*machs),
+		Ready: make([]float64, machs),
+	}
+}
+
+// At returns ETC[job][mach], widened to float64 under the narrow backing.
+// The backing branch is a single perfectly predicted test per call; the
+// float64 path is unchanged from the single-backing implementation.
 func (in *Instance) At(job, mach int) float64 {
-	return in.ETC[job*in.Machs+mach]
+	if in.ETC != nil {
+		return in.ETC[job*in.Machs+mach]
+	}
+	return float64(in.ETC32[job*in.Machs+mach])
 }
 
-// Set assigns ETC[job][mach] = v. It must not be called after the instance
-// is shared with schedulers.
+// Set assigns ETC[job][mach] = v (narrowed under the float32 backing). It
+// must not be called after the instance is shared with schedulers.
 func (in *Instance) Set(job, mach int, v float64) {
-	in.ETC[job*in.Machs+mach] = v
+	if in.ETC != nil {
+		in.ETC[job*in.Machs+mach] = v
+		return
+	}
+	in.ETC32[job*in.Machs+mach] = float32(v)
 }
 
-// Row returns the ETC row of job as a sub-slice (do not mutate).
+// Row returns the ETC row of job as a sub-slice (do not mutate). It is
+// defined only for the float64 backing; frontier-scale float32 instances
+// are read through At (no caller outside this package's float64 paths
+// needs a raw row).
 func (in *Instance) Row(job int) []float64 {
+	if in.ETC == nil {
+		panic("etc: Row requires the float64 ETC backing; use At")
+	}
 	return in.ETC[job*in.Machs : (job+1)*in.Machs]
 }
 
+// Bytes returns the instance's resident memory footprint in bytes: the
+// ETC matrix (whichever backing), ready times and the derived workload
+// and speed arrays. The struct header and name are ignored — at frontier
+// scale they are noise against the matrix.
+func (in *Instance) Bytes() int {
+	return len(in.ETC)*8 + len(in.ETC32)*4 +
+		(len(in.Ready)+len(in.workload)+len(in.speed))*8
+}
+
 // Finalize computes the derived per-job workloads and per-machine speeds
-// used by workload-aware heuristics (LJFR-SJFR). It must be called once
-// after the ETC matrix is filled; New* constructors in this package do so.
+// used by workload-aware heuristics (LJFR-SJFR). It must be called after
+// the ETC matrix is filled (New* constructors in this package do so) and
+// may be re-called after in-place edits: on a same-shape re-call it reuses
+// the previously allocated workload and speed arrays instead of allocating
+// fresh ones — the daemon's live-instance extraction re-finalizes at every
+// admission cycle, which at 100k jobs would otherwise churn 800KB per
+// cycle. Column sums accumulate directly into the speed array (then invert
+// in place), so a re-call allocates nothing at all.
 func (in *Instance) Finalize() {
-	in.workload = make([]float64, in.Jobs)
-	colSum := make([]float64, in.Machs)
-	for i := 0; i < in.Jobs; i++ {
-		row := in.Row(i)
-		s := 0.0
-		for j, v := range row {
-			s += v
-			colSum[j] += v
-		}
-		in.workload[i] = s / float64(in.Machs)
+	if cap(in.workload) >= in.Jobs {
+		in.workload = in.workload[:in.Jobs]
+	} else {
+		in.workload = make([]float64, in.Jobs)
 	}
-	in.speed = make([]float64, in.Machs)
-	for j := range in.speed {
-		mean := colSum[j] / float64(in.Jobs)
+	if cap(in.speed) >= in.Machs {
+		in.speed = in.speed[:in.Machs]
+	} else {
+		in.speed = make([]float64, in.Machs)
+	}
+	colSum := in.speed
+	for j := range colSum {
+		colSum[j] = 0
+	}
+	if in.ETC != nil {
+		for i := 0; i < in.Jobs; i++ {
+			row := in.ETC[i*in.Machs : (i+1)*in.Machs]
+			s := 0.0
+			for j, v := range row {
+				s += v
+				colSum[j] += v
+			}
+			in.workload[i] = s / float64(in.Machs)
+		}
+	} else {
+		for i := 0; i < in.Jobs; i++ {
+			row := in.ETC32[i*in.Machs : (i+1)*in.Machs]
+			s := 0.0
+			for j, v32 := range row {
+				v := float64(v32)
+				s += v
+				colSum[j] += v
+			}
+			in.workload[i] = s / float64(in.Machs)
+		}
+	}
+	for j, cs := range colSum {
+		mean := cs / float64(in.Jobs)
+		in.speed[j] = 0
 		if mean > 0 {
 			in.speed[j] = 1 / mean
 		}
@@ -249,7 +327,14 @@ func (in *Instance) Validate() error {
 	if in.Jobs <= 0 || in.Machs <= 0 {
 		return fmt.Errorf("etc: non-positive dimensions %d×%d", in.Jobs, in.Machs)
 	}
-	if len(in.ETC) != in.Jobs*in.Machs {
+	switch {
+	case in.ETC != nil && in.ETC32 != nil:
+		return fmt.Errorf("etc: both float64 and float32 ETC backings set")
+	case in.ETC32 != nil:
+		if len(in.ETC32) != in.Jobs*in.Machs {
+			return fmt.Errorf("etc: ETC32 length %d, want %d", len(in.ETC32), in.Jobs*in.Machs)
+		}
+	case len(in.ETC) != in.Jobs*in.Machs:
 		return fmt.Errorf("etc: ETC length %d, want %d", len(in.ETC), in.Jobs*in.Machs)
 	}
 	if len(in.Ready) != in.Machs {
@@ -258,6 +343,11 @@ func (in *Instance) Validate() error {
 	for i, v := range in.ETC {
 		if !(v > 0) {
 			return fmt.Errorf("etc: ETC[%d][%d] = %v, want > 0", i/in.Machs, i%in.Machs, v)
+		}
+	}
+	for i, v := range in.ETC32 {
+		if !(v > 0) {
+			return fmt.Errorf("etc: ETC32[%d][%d] = %v, want > 0", i/in.Machs, i%in.Machs, v)
 		}
 	}
 	for j, v := range in.Ready {
@@ -274,11 +364,14 @@ func (in *Instance) IsConsistent() bool {
 	if in.Jobs == 0 {
 		return true
 	}
-	order := rankOrder(in.Row(0))
+	order := make([]int, in.Machs)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return in.At(0, order[a]) < in.At(0, order[b]) })
 	for i := 1; i < in.Jobs; i++ {
-		row := in.Row(i)
 		for k := 0; k+1 < len(order); k++ {
-			if row[order[k]] > row[order[k+1]] {
+			if in.At(i, order[k]) > in.At(i, order[k+1]) {
 				return false
 			}
 		}
@@ -286,19 +379,15 @@ func (in *Instance) IsConsistent() bool {
 	return true
 }
 
-func rankOrder(row []float64) []int {
-	order := make([]int, len(row))
-	for j := range order {
-		order[j] = j
-	}
-	sort.Slice(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
-	return order
-}
-
 // Clone returns a deep copy of the instance (including derived fields).
 func (in *Instance) Clone() *Instance {
 	out := &Instance{Name: in.Name, Jobs: in.Jobs, Machs: in.Machs}
-	out.ETC = append([]float64(nil), in.ETC...)
+	if in.ETC != nil {
+		out.ETC = append([]float64(nil), in.ETC...)
+	}
+	if in.ETC32 != nil {
+		out.ETC32 = append([]float32(nil), in.ETC32...)
+	}
 	out.Ready = append([]float64(nil), in.Ready...)
 	if in.workload != nil {
 		out.workload = append([]float64(nil), in.workload...)
@@ -365,16 +454,7 @@ func Generate(class Class, k int, opt GenerateOptions) *Instance {
 // in place, leaving odd columns untouched. This is the benchmark's
 // semi-consistency construction: even columns form a consistent sub-matrix.
 func sortEvenColumns(row []float64) {
-	n := (len(row) + 1) / 2
-	tmp := make([]float64, 0, n)
-	for j := 0; j < len(row); j += 2 {
-		tmp = append(tmp, row[j])
-	}
-	sort.Float64s(tmp)
-	for k, j := 0, 0; j < len(row); j += 2 {
-		row[j] = tmp[k]
-		k++
-	}
+	sortEven(row, make([]float64, 0, (len(row)+1)/2))
 }
 
 // GenerateByName parses a benchmark instance name and generates the

@@ -1,0 +1,224 @@
+package etc
+
+import (
+	"encoding/hex"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func mustSpec(t *testing.T, s string) GenSpec {
+	t.Helper()
+	g, err := ParseGenSpec(s)
+	if err != nil {
+		t.Fatalf("ParseGenSpec(%q): %v", s, err)
+	}
+	return g
+}
+
+func mustGen(t *testing.T, g GenSpec) *Instance {
+	t.Helper()
+	in, err := g.Generate()
+	if err != nil {
+		t.Fatalf("Generate(%v): %v", g, err)
+	}
+	return in
+}
+
+func TestParseGenSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want GenSpec
+	}{
+		{"512x16", GenSpec{512, 16, Class{Inconsistent, High, High}, 1, false}},
+		{"100000x1000:c_hihi:s7:f32", GenSpec{100000, 1000, Class{Consistent, High, High}, 7, true}},
+		{"48x6:s_lohi:s3", GenSpec{48, 6, Class{SemiConsistent, Low, High}, 3, false}},
+		{"8192x128:i_lolo", GenSpec{8192, 128, Class{Inconsistent, Low, Low}, 1, false}},
+	}
+	for _, c := range cases {
+		got, err := ParseGenSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseGenSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseGenSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// Canonical form round-trips.
+		back, err := ParseGenSpec(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip of %q via %q = %+v, %v", c.in, got.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"", "512", "0x16", "512x0", "512x16:q_hihi", "512x16:c_hi", "512x16:sx"} {
+		if _, err := ParseGenSpec(bad); err == nil {
+			t.Errorf("ParseGenSpec(%q): want error", bad)
+		}
+	}
+}
+
+// TestGenSpecGoldenDigests pins generated matrices byte for byte: the
+// generator's determinism contract is cross-process and cross-platform,
+// so these digests must never change. A change means every committed
+// frontier benchmark row describes a different instance.
+func TestGenSpecGoldenDigests(t *testing.T) {
+	golden := map[string]string{
+		"64x8:c_hihi:s1":     "6a0492f0fa5ce4d40cacdbeefbf364c08d92cecf2554d18eabd38b512948484c",
+		"64x8:c_hihi:s1:f32": "11635da466eafb73d47fe7a544f825bcdd889d82d629172c5c66dc0e852fc4fa",
+		"48x6:s_lohi:s3":     "aa12b2f20e96157fdbee52beececf00a80a4bca0b7179c1d3d62c0823047f19b",
+	}
+	for spec, want := range golden {
+		in := mustGen(t, mustSpec(t, spec))
+		got := in.MatrixDigest()
+		if hex.EncodeToString(got[:]) != want {
+			t.Errorf("%s: digest %x, want %s", spec, got, want)
+		}
+	}
+}
+
+// TestGenSpecDeterminism: same spec ⇒ identical digest across repeated and
+// concurrent generations (the concurrency matters under -race: the
+// generator must not share hidden mutable state between calls).
+func TestGenSpecDeterminism(t *testing.T) {
+	specs := []string{
+		"200x16:c_hihi:s1", "200x16:i_hilo:s2", "200x16:s_lohi:s3",
+		"200x16:i_lolo:s4", "200x16:c_hihi:s1:f32",
+	}
+	for _, s := range specs {
+		g := mustSpec(t, s)
+		ref := mustGen(t, g).MatrixDigest()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				in, err := g.Generate()
+				if err != nil {
+					t.Errorf("%s: %v", s, err)
+					return
+				}
+				if in.MatrixDigest() != ref {
+					t.Errorf("%s: concurrent regeneration produced a different matrix", s)
+				}
+			}()
+		}
+		wg.Wait()
+		// Different seed ⇒ different matrix.
+		g2 := g
+		g2.Seed++
+		if mustGen(t, g2).MatrixDigest() == ref {
+			t.Errorf("%s: seed change did not change the matrix", s)
+		}
+	}
+}
+
+func TestGenSpecInstanceProperties(t *testing.T) {
+	for _, s := range []string{"300x24:c_hihi:s5", "300x24:c_lolo:s5:f32"} {
+		g := mustSpec(t, s)
+		in := mustGen(t, g)
+		if in.Name != g.InstanceName() {
+			t.Errorf("%s: name %q, want %q", s, in.Name, g.InstanceName())
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+		if !in.IsConsistent() {
+			t.Errorf("%s: consistent class generated an inconsistent matrix", s)
+		}
+		// Finalize ran: derived fields are usable.
+		if in.Workload(0) <= 0 || in.Speed(0) <= 0 {
+			t.Errorf("%s: bad derived fields", s)
+		}
+		wantBytes := in.Jobs*in.Machs*8 + in.Machs*8 + in.Jobs*8 + in.Machs*8
+		if g.Float32 {
+			wantBytes = in.Jobs*in.Machs*4 + in.Machs*8 + in.Jobs*8 + in.Machs*8
+		}
+		if in.Bytes() != wantBytes {
+			t.Errorf("%s: Bytes() = %d, want %d", s, in.Bytes(), wantBytes)
+		}
+	}
+	// Float32 entries are the narrowed float64 draws: widening the f32
+	// matrix must agree with the f64 matrix to float32 precision.
+	g64 := mustSpec(t, "100x12:i_hihi:s9")
+	g32 := mustSpec(t, "100x12:i_hihi:s9:f32")
+	in64, in32 := mustGen(t, g64), mustGen(t, g32)
+	for i := 0; i < in64.Jobs; i++ {
+		for j := 0; j < in64.Machs; j++ {
+			if float32(in64.At(i, j)) != float32(in32.At(i, j)) {
+				t.Fatalf("entry (%d,%d): f64 %v vs f32 %v", i, j, in64.At(i, j), in32.At(i, j))
+			}
+		}
+	}
+}
+
+// TestGenerateIntoReuse: a same-shape regeneration must reuse the backing
+// arrays (the frontier ladder regenerates in place) and still produce the
+// exact matrix a fresh Generate does.
+func TestGenerateIntoReuse(t *testing.T) {
+	gA := mustSpec(t, "128x16:c_hihi:s1")
+	gB := mustSpec(t, "128x16:i_lolo:s2")
+	in := mustGen(t, gA)
+	p0 := unsafe.SliceData(in.ETC)
+	out, err := gB.GenerateInto(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in || unsafe.SliceData(out.ETC) != p0 {
+		t.Error("same-shape GenerateInto reallocated the matrix")
+	}
+	if out.MatrixDigest() != mustGen(t, gB).MatrixDigest() {
+		t.Error("GenerateInto result differs from fresh Generate")
+	}
+	if out.Name != gB.InstanceName() {
+		t.Errorf("name %q not restamped", out.Name)
+	}
+	// Backing mismatch reallocates rather than corrupting.
+	g32 := mustSpec(t, "128x16:c_hihi:s1:f32")
+	out32, err := g32.GenerateInto(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out32 == out {
+		t.Error("backing change must allocate a fresh instance")
+	}
+}
+
+// TestFinalizeReuse: re-finalizing a same-shape instance must not allocate
+// (the daemon re-extracts live instances every admission cycle) and must
+// leave the derived fields bit-identical.
+func TestFinalizeReuse(t *testing.T) {
+	in := mustGen(t, mustSpec(t, "256x16:i_hihi:s1"))
+	w0, s0 := in.Workload(7), in.Speed(3)
+	pw := unsafe.SliceData(in.workload)
+	ps := unsafe.SliceData(in.speed)
+	allocs := testing.AllocsPerRun(10, in.Finalize)
+	if allocs != 0 {
+		t.Errorf("same-shape Finalize allocates %v per call, want 0", allocs)
+	}
+	if unsafe.SliceData(in.workload) != pw || unsafe.SliceData(in.speed) != ps {
+		t.Error("same-shape Finalize reallocated derived arrays")
+	}
+	if in.Workload(7) != w0 || in.Speed(3) != s0 {
+		t.Error("re-finalize changed derived values")
+	}
+}
+
+// BenchmarkGenerateInto guards the steady-state generator: regenerating a
+// same-shape instance performs zero allocations (CI's allocation guard
+// runs this at -benchtime 1x).
+func BenchmarkGenerateInto(b *testing.B) {
+	g, err := ParseGenSpec("1024x64:c_hihi:s1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := g.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.GenerateInto(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

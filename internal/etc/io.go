@@ -23,12 +23,11 @@ func Write(w io.Writer, in *Instance) error {
 	}
 	fmt.Fprintf(bw, "%d %d\n", in.Jobs, in.Machs)
 	for i := 0; i < in.Jobs; i++ {
-		row := in.Row(i)
-		for j, v := range row {
+		for j := 0; j < in.Machs; j++ {
 			if j > 0 {
 				bw.WriteByte(' ')
 			}
-			fmt.Fprintf(bw, "%.6f", v)
+			fmt.Fprintf(bw, "%.6f", in.At(i, j))
 		}
 		bw.WriteByte('\n')
 	}

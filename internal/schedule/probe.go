@@ -107,6 +107,14 @@ func (st *State) completionFlowWithout(m int, j int32) (completion, flow float64
 	jobs := st.machJobs[m]
 	s := int(st.slot[j])
 	t, f := st.prefix(m, s)
+	if e := st.etc64; e != nil {
+		machs := st.inst.Machs
+		for _, x := range jobs[s+1:] {
+			t += e[int(x)*machs+m]
+			f += t
+		}
+		return t, f
+	}
 	for _, x := range jobs[s+1:] {
 		t += st.inst.At(int(x), m)
 		f += t
@@ -122,6 +130,16 @@ func (st *State) completionFlowWith(m int, j int32) (completion, flow float64) {
 	jobs := st.machJobs[m]
 	p := st.insertPos(m, j)
 	t, f := st.prefix(m, p)
+	if e := st.etc64; e != nil {
+		machs := st.inst.Machs
+		t += e[int(j)*machs+m]
+		f += t
+		for _, x := range jobs[p:] {
+			t += e[int(x)*machs+m]
+			f += t
+		}
+		return t, f
+	}
 	t += st.inst.At(int(j), m)
 	f += t
 	for _, x := range jobs[p:] {
@@ -135,6 +153,14 @@ func (st *State) completionFlowWith(m int, j int32) (completion, flow float64) {
 // with job out skipped and job in spliced at its (ETC, id) position among
 // the remaining jobs — the per-machine half of a Swap. The resummation
 // starts at the first affected slot.
+//
+// The float64 body loads each survivor's entry once and inlines the
+// (ETC, id) comparison against it — the same two-term predicate less
+// evaluates, over the same loaded values, so the splice point and every
+// emitted float are bit-identical to the accessor-based replay. This is
+// the hottest replay in the engine (every cached-scan iteration probes
+// its candidate swap through it), which is why it gets the hand-tuned
+// path rather than leaning on At.
 func (st *State) completionFlowReplace(m int, out, in int32) (completion, flow float64) {
 	jobs := st.machJobs[m]
 	start := int(st.slot[out])
@@ -142,8 +168,30 @@ func (st *State) completionFlowReplace(m int, out, in int32) (completion, flow f
 		start = p
 	}
 	t, f := st.prefix(m, start)
-	e := st.inst.At(int(in), m)
 	inserted := false
+	if e64 := st.etc64; e64 != nil {
+		machs := st.inst.Machs
+		e := e64[int(in)*machs+m]
+		for _, x := range jobs[start:] {
+			if x == out {
+				continue
+			}
+			xe := e64[int(x)*machs+m]
+			if !inserted && !(xe < e || (xe == e && x < in)) {
+				t += e
+				f += t
+				inserted = true
+			}
+			t += xe
+			f += t
+		}
+		if !inserted {
+			t += e
+			f += t
+		}
+		return t, f
+	}
+	e := st.inst.At(int(in), m)
 	for _, x := range jobs[start:] {
 		if x == out {
 			continue

@@ -215,10 +215,17 @@ func (st *State) bestOn(m, crit int, critJobs []int32) (float64, int32, int32) {
 	if len(jobs) == 0 {
 		return math.Inf(1), -1, -1
 	}
-	etcs := st.inst.ETC
 	machs := st.inst.Machs
 	cm := st.completion[m]
 	critC := st.completion[crit]
+	etcs := st.inst.ETC
+	if etcs == nil {
+		// Narrow frontier backing: same loop, stenciled over float32
+		// (kernels.go). The float64 path below stays hand-written — this
+		// scan is the hottest loop in the engine and the generic
+		// instantiation measures ~40ns/query slower.
+		return bestOnKernel(st.inst.ETC32, machs, critC, cm, critJobs, jobs, crit, m)
+	}
 	best := math.Inf(1)
 	bestAPos, bestB := int32(-1), int32(-1)
 	for apos, a := range critJobs {

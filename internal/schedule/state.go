@@ -22,7 +22,14 @@ import (
 // "max completion excluding machine(s)" query behind the speculative
 // FitnessAfterMove / FitnessAfterSwap probes (probe.go).
 type State struct {
-	inst     *etc.Instance
+	inst *etc.Instance
+	// etc64 is inst.ETC, hoisted at construction: the per-element replay
+	// loops (probe.go, refreshMachine, rebuild's key fill) index it
+	// directly when the instance has the float64 backing, falling back to
+	// the At accessor under the narrow float32 backing — one predictable
+	// branch per call instead of one per matrix read, which measurably
+	// matters in the sub-microsecond cached-scan path.
+	etc64    []float64
 	assign   Schedule
 	machJobs [][]int32 // per machine, job ids sorted by (ETC, id)
 	slot     []int32   // slot[j] = index of job j within machJobs[assign[j]]
@@ -81,6 +88,23 @@ type State struct {
 	// machine-grouped, scanned through BeginSwapScanIDs.
 	sampleIDs []int32
 
+	// Region backing of the per-machine lists: machJobs/machCumC/machCumF
+	// are carved out of these three arrays by ensureRegions, each machine
+	// getting a capacity-capped region (three-index slices) sized
+	// max(count, slack). A rebuild or CopyFrom re-carves in O(M) from the
+	// same arrays — reallocating all three only when the total need
+	// outgrows the backing — so per-machine count drift never triggers
+	// per-machine reallocation. counts/regOff are the carving scratch and
+	// jobKey the rebuild's sort-key cache (jobKey[j] = ETC[j][assign[j]],
+	// so bucket sorting compares against a J-sized array instead of
+	// gathering from a frontier-scale matrix).
+	backing  []int32
+	backCumC []float64
+	backCumF []float64
+	counts   []int32
+	regOff   []int32
+	jobKey   []float64
+
 	// scanCache is the event-driven memo layer over the sweep kernels
 	// (scancache.go), lazily sized by Scans. Like the sweep scratch it is
 	// not part of the state's value: Clone and CopyFrom leave it cold and
@@ -96,6 +120,7 @@ func NewState(in *etc.Instance, s Schedule) *State {
 	}
 	st := &State{
 		inst:       in,
+		etc64:      in.ETC,
 		assign:     s.Clone(),
 		machJobs:   make([][]int32, in.Machs),
 		machCumC:   make([][]float64, in.Machs),
@@ -106,67 +131,109 @@ func NewState(in *etc.Instance, s Schedule) *State {
 		machEpoch:  make([]uint64, in.Machs),
 		dirtyIDs:   make([]int32, 0, in.Machs),
 		dirtyMark:  make([]bool, in.Machs),
+		counts:     make([]int32, in.Machs),
+		regOff:     make([]int32, in.Machs+1),
 	}
 	st.top.init(in.Machs)
-	// Carve the per-machine lists out of one backing array, so
-	// construction costs one allocation instead of one growth chain per
-	// machine. Each region gets twice the balanced share as headroom
-	// (CopyFrom and Move then rarely need to grow a list), or the exact
-	// initial count when that is larger. Three-index slicing caps every
-	// list at its region; a machine that outgrows it reallocates on its
-	// own.
-	counts := make([]int, in.Machs)
-	for _, m := range st.assign {
-		counts[m]++
-	}
-	slack := 2*in.Jobs/in.Machs + 8
-	total := 0
-	for m, c := range counts {
-		if c < slack {
-			counts[m] = slack
-		}
-		total += counts[m]
-	}
-	backing := make([]int32, total)
-	cumC := make([]float64, total)
-	cumF := make([]float64, total)
-	off := 0
-	for m := range st.machJobs {
-		st.machJobs[m] = backing[off : off : off+counts[m]]
-		st.machCumC[m] = cumC[off : off : off+counts[m]]
-		st.machCumF[m] = cumF[off : off : off+counts[m]]
-		off += counts[m]
-	}
 	st.rebuild()
 	return st
+}
+
+// ensureRegions re-carves the per-machine lists out of the shared backing
+// arrays: machine m gets an empty region of capacity max(counts[m], slack)
+// where slack is twice the balanced share plus headroom (Move and insert
+// then rarely outgrow a region; one that does reallocates on its own
+// until the next carve reabsorbs it). The three backing arrays are
+// reallocated only when the total need exceeds their capacity — count
+// drift between machines re-slices in O(M) without allocating, which is
+// what keeps SetSchedule allocation-free in the per-offspring hot loop at
+// any instance scale.
+func (st *State) ensureRegions(counts []int32) {
+	machs := len(st.machJobs)
+	slack := int32(2*len(st.assign)/machs + 8)
+	off := st.regOff
+	need := int32(0)
+	for m, c := range counts {
+		off[m] = need
+		if c < slack {
+			c = slack
+		}
+		need += c
+	}
+	off[machs] = need
+	if cap(st.backing) < int(need) {
+		st.backing = make([]int32, need)
+		st.backCumC = make([]float64, need)
+		st.backCumF = make([]float64, need)
+	}
+	b := st.backing[:need]
+	bc := st.backCumC[:need]
+	bf := st.backCumF[:need]
+	for m := range st.machJobs {
+		s, e := off[m], off[m+1]
+		st.machJobs[m] = b[s:s:e]
+		st.machCumC[m] = bc[s:s:e]
+		st.machCumF[m] = bf[s:s:e]
+	}
 }
 
 // rebuild recomputes all derived state from st.assign. Every machine's
 // content changes, so every machine advances to a fresh epoch and the
 // pending dirty set is cleared — the epoch bump subsumes it.
+//
+// The pass is bucket-by-machine over the shared backing: count each
+// machine's jobs, carve regions, drop every job into its machine's bucket
+// in ascending job order, then sort each bucket by (ETC, id) against the
+// jobKey cache. (ETC, id) is a total order, so the sorted buckets — and
+// every downstream prefix sum — are byte-identical to the historical
+// per-machine SortFunc over At; the differential test in
+// rebuild_test.go pins this, ETC ties included. The key cache matters at
+// frontier scale: comparators touch a J-sized array with high locality
+// instead of gather-loading a multi-hundred-MB matrix.
 func (st *State) rebuild() {
 	st.touchAll()
-	for m := range st.machJobs {
-		st.machJobs[m] = st.machJobs[m][:0]
+	counts := st.counts
+	for m := range counts {
+		counts[m] = 0
 	}
+	for _, m := range st.assign {
+		counts[m]++
+	}
+	st.ensureRegions(counts)
 	for j, m := range st.assign {
 		st.machJobs[m] = append(st.machJobs[m], int32(j))
 	}
+	jobs := len(st.assign)
+	if cap(st.jobKey) < jobs {
+		st.jobKey = make([]float64, jobs)
+	}
+	key := st.jobKey[:jobs]
+	if e := st.etc64; e != nil {
+		machs := st.inst.Machs
+		for j, m := range st.assign {
+			key[j] = e[j*machs+m]
+		}
+	} else {
+		for j, m := range st.assign {
+			key[j] = st.inst.At(j, m)
+		}
+	}
+	cmp := func(a, b int32) int {
+		ka, kb := key[a], key[b]
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		default:
+			return int(a - b)
+		}
+	}
 	st.flowtime = 0
 	for m := range st.machJobs {
-		jobs := st.machJobs[m]
-		slices.SortFunc(jobs, func(a, b int32) int {
-			ea, eb := st.inst.At(int(a), m), st.inst.At(int(b), m)
-			switch {
-			case ea < eb:
-				return -1
-			case ea > eb:
-				return 1
-			default:
-				return int(a - b)
-			}
-		})
-		for k, j := range jobs {
+		bucket := st.machJobs[m]
+		slices.SortFunc(bucket, cmp)
+		for k, j := range bucket {
 			st.slot[j] = int32(k)
 		}
 		st.refreshMachine(m)
@@ -177,7 +244,13 @@ func (st *State) rebuild() {
 // less orders jobs on machine m by (ETC, job id); the id tiebreak makes the
 // per-machine order — and therefore flowtime — deterministic.
 func (st *State) less(a, b int32, m int) bool {
-	ea, eb := st.inst.At(int(a), m), st.inst.At(int(b), m)
+	var ea, eb float64
+	if e := st.etc64; e != nil {
+		machs := st.inst.Machs
+		ea, eb = e[int(a)*machs+m], e[int(b)*machs+m]
+	} else {
+		ea, eb = st.inst.At(int(a), m), st.inst.At(int(b), m)
+	}
 	if ea != eb {
 		return ea < eb
 	}
@@ -193,11 +266,21 @@ func (st *State) refreshMachine(m int) {
 	cumF := st.machCumF[m][:0]
 	t := st.inst.Ready[m]
 	flow := 0.0
-	for _, j := range jobs {
-		t += st.inst.At(int(j), m)
-		flow += t
-		cumC = append(cumC, t)
-		cumF = append(cumF, flow)
+	if e := st.etc64; e != nil {
+		machs := st.inst.Machs
+		for _, j := range jobs {
+			t += e[int(j)*machs+m]
+			flow += t
+			cumC = append(cumC, t)
+			cumF = append(cumF, flow)
+		}
+	} else {
+		for _, j := range jobs {
+			t += st.inst.At(int(j), m)
+			flow += t
+			cumC = append(cumC, t)
+			cumF = append(cumF, flow)
+		}
 	}
 	st.machCumC[m] = cumC
 	st.machCumF[m] = cumF
@@ -581,14 +664,36 @@ func (st *State) RefreshFlowtime() {
 	st.epoch++
 }
 
-// Clone returns an independent copy of the state.
+// copyListsFrom re-carves st's per-machine regions to src's counts and
+// copies src's lists and prefix sums into them. The regions come out of
+// ensureRegions with capacity ≥ count, so the appends never reallocate:
+// list copying costs three bulk memmoves' worth of element copies and at
+// most one backing growth, independent of the machine count.
+func (st *State) copyListsFrom(src *State) {
+	counts := st.counts
+	for m := range counts {
+		counts[m] = int32(len(src.machJobs[m]))
+	}
+	st.ensureRegions(counts)
+	for m := range st.machJobs {
+		st.machJobs[m] = append(st.machJobs[m], src.machJobs[m]...)
+		st.machCumC[m] = append(st.machCumC[m], src.machCumC[m]...)
+		st.machCumF[m] = append(st.machCumF[m], src.machCumF[m]...)
+	}
+}
+
+// Clone returns an independent copy of the state. The per-machine lists
+// land in a freshly carved region backing — a handful of allocations
+// total, not three per machine.
 func (st *State) Clone() *State {
+	machs := len(st.machJobs)
 	cp := &State{
 		inst:       st.inst,
+		etc64:      st.etc64,
 		assign:     st.assign.Clone(),
-		machJobs:   make([][]int32, len(st.machJobs)),
-		machCumC:   make([][]float64, len(st.machJobs)),
-		machCumF:   make([][]float64, len(st.machJobs)),
+		machJobs:   make([][]int32, machs),
+		machCumC:   make([][]float64, machs),
+		machCumF:   make([][]float64, machs),
 		slot:       append([]int32(nil), st.slot...),
 		completion: append([]float64(nil), st.completion...),
 		machFlow:   append([]float64(nil), st.machFlow...),
@@ -596,17 +701,15 @@ func (st *State) Clone() *State {
 		top:        st.top.clone(),
 		epoch:      st.epoch,
 		machEpoch:  append([]uint64(nil), st.machEpoch...),
-		dirtyIDs:   make([]int32, 0, len(st.machJobs)),
-		dirtyMark:  make([]bool, len(st.machJobs)),
+		dirtyIDs:   make([]int32, 0, machs),
+		dirtyMark:  make([]bool, machs),
+		counts:     make([]int32, machs),
+		regOff:     make([]int32, machs+1),
 	}
 	if st.scanExempt != nil {
 		cp.scanExempt = append([]bool(nil), st.scanExempt...)
 	}
-	for m, jobs := range st.machJobs {
-		cp.machJobs[m] = append([]int32(nil), jobs...)
-		cp.machCumC[m] = append([]float64(nil), st.machCumC[m]...)
-		cp.machCumF[m] = append([]float64(nil), st.machCumF[m]...)
-	}
+	cp.copyListsFrom(st)
 	return cp
 }
 
@@ -622,9 +725,50 @@ func (st *State) CopyFrom(src *State) {
 	copy(st.machFlow, src.machFlow)
 	st.flowtime = src.flowtime
 	st.top.copyFrom(&src.top)
-	for m := range st.machJobs {
-		st.machJobs[m] = append(st.machJobs[m][:0], src.machJobs[m]...)
-		st.machCumC[m] = append(st.machCumC[m][:0], src.machCumC[m]...)
-		st.machCumF[m] = append(st.machCumF[m][:0], src.machCumF[m]...)
+	st.copyListsFrom(src)
+}
+
+// MemStats is the state's resident footprint by component, counting
+// capacities (pooled headroom included) but not the shared ETC instance —
+// that is etc.Instance.Bytes. BytesPerJob is the scale-governing ratio
+// the frontier benchmark reports: everything here is O(J + M), so the
+// ratio must stay a small constant as instances grow.
+type MemStats struct {
+	Jobs, Machs  int
+	AssignBytes  int // schedule vector, slot table, rebuild key cache
+	ListBytes    int // per-machine job-id lists (shared region backing)
+	PrefixBytes  int // per-slot completion/flowtime prefix sums
+	MachineBytes int // per-machine scalars, epochs, tournament tree, carve scratch
+	ScratchBytes int // sweep/diff/sample scratch and the scan-cache memo
+	TotalBytes   int
+	BytesPerJob  float64
+}
+
+// MemStats gauges the state's current memory footprint. Per-machine lists
+// are accounted through the shared backing arrays; a list that outgrew
+// its region (rare, reabsorbed at the next carve) carries a private
+// allocation this gauge does not see.
+func (st *State) MemStats() MemStats {
+	ms := MemStats{Jobs: len(st.assign), Machs: len(st.machJobs)}
+	ms.AssignBytes = cap(st.assign)*8 + cap(st.slot)*4 + cap(st.jobKey)*8
+	ms.ListBytes = cap(st.backing) * 4
+	ms.PrefixBytes = (cap(st.backCumC) + cap(st.backCumF)) * 8
+	ms.MachineBytes = (cap(st.completion)+cap(st.machFlow))*8 +
+		cap(st.machEpoch)*8 + cap(st.dirtyIDs)*4 + cap(st.dirtyMark) +
+		(cap(st.counts)+cap(st.regOff))*4 +
+		cap(st.top.win)*4 + cap(st.top.val)*8 +
+		(len(st.machJobs)+len(st.machCumC)+len(st.machCumF))*24 // slice headers
+	ms.ScratchBytes = (cap(st.sweepFit)+cap(st.sweepA)+cap(st.sweepB))*8 +
+		(cap(st.diffJobs)+cap(st.diffMachs))*4 + cap(st.diffMark) +
+		cap(st.scanExempt) + cap(st.sampleIDs)*4 +
+		(cap(st.swapScan.u)+cap(st.swapScan.v))*8 +
+		(cap(st.swapScan.ids)+cap(st.swapScan.segM)+cap(st.swapScan.off))*4 +
+		cap(st.scanCache.entryEpoch)*8 + cap(st.scanCache.entryVal)*8 +
+		(cap(st.scanCache.entryAPos)+cap(st.scanCache.entryB))*4
+	ms.TotalBytes = ms.AssignBytes + ms.ListBytes + ms.PrefixBytes +
+		ms.MachineBytes + ms.ScratchBytes
+	if ms.Jobs > 0 {
+		ms.BytesPerJob = float64(ms.TotalBytes) / float64(ms.Jobs)
 	}
+	return ms
 }

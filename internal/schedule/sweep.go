@@ -140,11 +140,15 @@ func (st *State) CompletionAfterSwapSweep(a, m int, aOut, bOut []float64) ([]flo
 	} else {
 		bOut = bOut[:n]
 	}
-	etc := st.inst.ETC
 	machs := st.inst.Machs
 	caBase := st.completion[ma] - st.inst.At(a, ma) // machine(a) minus a, shared by every partner
 	w := st.inst.At(a, m)                           // a's cost on m, shared by every partner
 	cm := st.completion[m]
+	etc := st.inst.ETC
+	if etc == nil {
+		swapSweepFill(st.inst.ETC32, machs, ma, m, caBase, w, cm, jobs, aOut, bOut)
+		return aOut, bOut
+	}
 	for k, b := range jobs {
 		row := int(b) * machs
 		aOut[k] = caBase + etc[row+ma]
@@ -181,7 +185,6 @@ func (st *State) BeginSwapScan(crit int) *SwapScan {
 	ss := &st.swapScan
 	ss.st, ss.crit = st, crit
 	machs := st.inst.Machs
-	etcs := st.inst.ETC
 	u, v := ss.u[:0], ss.v[:0]
 	ids := ss.ids[:0]
 	segM, off := ss.segM[:0], ss.off[:0]
@@ -196,11 +199,15 @@ func (st *State) BeginSwapScan(crit int) *SwapScan {
 		segM = append(segM, int32(m))
 		off = append(off, int32(len(ids)))
 		cm := st.completion[m]
-		for _, b := range jobs {
-			row := int(b) * machs
-			u = append(u, etcs[row+crit])
-			v = append(v, cm-etcs[row+m])
-			ids = append(ids, b)
+		if etcs := st.inst.ETC; etcs != nil {
+			for _, b := range jobs {
+				row := int(b) * machs
+				u = append(u, etcs[row+crit])
+				v = append(v, cm-etcs[row+m])
+				ids = append(ids, b)
+			}
+		} else {
+			u, v, ids = appendPartnerInvariants(st.inst.ETC32, machs, crit, m, cm, jobs, u, v, ids)
 		}
 	}
 	off = append(off, int32(len(ids)))
@@ -238,9 +245,14 @@ func (st *State) BeginSwapScanIDs(crit int, ids []int32) *SwapScan {
 			off = append(off, int32(len(out)))
 			last = m
 		}
-		row := int(b) * machs
-		u = append(u, etcs[row+crit])
-		v = append(v, st.completion[m]-etcs[row+m])
+		if etcs != nil {
+			row := int(b) * machs
+			u = append(u, etcs[row+crit])
+			v = append(v, st.completion[m]-etcs[row+m])
+		} else {
+			u = append(u, st.inst.At(int(b), crit))
+			v = append(v, st.completion[m]-st.inst.At(int(b), m))
+		}
 		out = append(out, b)
 	}
 	off = append(off, int32(len(out)))
@@ -260,12 +272,31 @@ func (st *State) BeginSwapScanIDs(crit int, ids []int32) *SwapScan {
 func (ss *SwapScan) BestPartner(a int) (float64, int) {
 	st := ss.st
 	machs := st.inst.Machs
-	aRow := st.inst.ETC[a*machs : a*machs+machs]
-	ca := st.completion[ss.crit] - aRow[ss.crit]
 	best, bestB := math.Inf(1), -1
 	u, v, ids := ss.u, ss.v, ss.ids
+	if etcs := st.inst.ETC; etcs != nil {
+		aRow := etcs[a*machs : a*machs+machs]
+		ca := st.completion[ss.crit] - aRow[ss.crit]
+		for s, m := range ss.segM {
+			w := aRow[m]
+			for k := ss.off[s]; k < ss.off[s+1]; k++ {
+				x := ca + u[k]
+				if y := v[k] + w; y > x {
+					x = y
+				}
+				if x < best || (x == best && int(ids[k]) < bestB) {
+					best, bestB = x, int(ids[k])
+				}
+			}
+		}
+		return best, bestB
+	}
+	// Narrow backing: the critical job's row is read once per partner
+	// machine (ca above, w below), so per-segment At dispatch costs
+	// nothing against the flat inner loop.
+	ca := st.completion[ss.crit] - st.inst.At(a, ss.crit)
 	for s, m := range ss.segM {
-		w := aRow[m]
+		w := st.inst.At(a, int(m))
 		for k := ss.off[s]; k < ss.off[s+1]; k++ {
 			x := ca + u[k]
 			if y := v[k] + w; y > x {
