@@ -5,13 +5,17 @@
 //
 //	gridd -addr :8437                          # serve the HTTP API
 //	gridd -addr :8437 -log gridd.log           # with a write-ahead event log
+//	gridd -log gridd.log -fsync always         # durable acknowledgements
 //	gridd -snapshot snap.json -log gridd.log   # restore + replay, then serve
 //	gridd -load -jobs 1000000 -machines 64     # million-job load harness
+//	gridd -load -fsync-sweep                   # fsync policy ladder rows
+//	gridd -crashtest -kills 256                # WAL crash-recovery torture
 //	gridd -selfcheck                           # snapshot/restart/replay smoke
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,11 +24,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"gridcma/internal/daemon"
-	"gridcma/internal/eventlog"
 )
 
 func main() {
@@ -40,14 +44,26 @@ func main() {
 		logPath  = flag.String("log", "", "write-ahead event log path")
 		snapPath = flag.String("snapshot", "", "restore from this snapshot before serving")
 
-		load      = flag.Bool("load", false, "run the load harness against an in-process daemon")
-		jobs      = flag.Int("jobs", 1_000_000, "load: total submissions")
-		machines  = flag.Int("machines", 64, "load: machines joined at start")
-		live      = flag.Int("live", 2048, "load: steady-state in-flight jobs")
-		batch     = flag.Int("batch", 512, "load: submissions per HTTP request")
-		coldEvery = flag.Int("cold-every", 25, "load: sample a cold re-solve every N batches")
-		cvb       = flag.String("cvb", "", "load: CVB gamma task bases, \"hi\" or \"lo\" (default: uniform integers)")
-		out       = flag.String("out", "BENCH_gridd.json", "load: benchmark report path")
+		fsync      = flag.String("fsync", "never", "WAL fsync policy: always (sync per request ack), interval (background ticker), never")
+		fsyncEvery = flag.Duration("fsync-every", 100*time.Millisecond, "sync period for -fsync interval")
+		maxPending = flag.Int("max-pending", 0, "reject submissions with 429 beyond this many pending jobs (0 = unbounded)")
+		maxBody    = flag.Int64("max-body", 1<<20, "request body cap in bytes (413 beyond it)")
+		reqTimeout = flag.Duration("req-timeout", 30*time.Second, "per-request handler deadline (0 disables)")
+
+		load       = flag.Bool("load", false, "run the load harness against an in-process daemon")
+		jobs       = flag.Int("jobs", 1_000_000, "load: total submissions")
+		machines   = flag.Int("machines", 64, "load: machines joined at start")
+		live       = flag.Int("live", 2048, "load: steady-state in-flight jobs")
+		batch      = flag.Int("batch", 512, "load: submissions per HTTP request")
+		coldEvery  = flag.Int("cold-every", 25, "load: sample a cold re-solve every N batches")
+		cvb        = flag.String("cvb", "", "load: CVB gamma task bases, \"hi\" or \"lo\" (default: uniform integers)")
+		failEvery  = flag.Int("fail-every", 0, "load: machine-failure storm every N batches (0 disables)")
+		fsyncSweep = flag.Bool("fsync-sweep", false, "load: one row per fsync policy (never, interval, always) with a WAL")
+		out        = flag.String("out", "BENCH_gridd.json", "load: benchmark report path")
+
+		crashtest = flag.Bool("crashtest", false, "run the WAL crash-recovery torture and exit")
+		kills     = flag.Int("kills", 256, "crashtest: fault points to torture")
+		ctEvents  = flag.Int("events", 400, "crashtest: reference script length")
 
 		selfcheck = flag.Bool("selfcheck", false, "run the snapshot/restart/replay smoke check and exit")
 	)
@@ -60,10 +76,15 @@ func main() {
 	gcfg.LSIters = *lsIters
 	gcfg.LSMethod = *lsMethod
 	scfg := daemon.ServerConfig{
-		Grid:         gcfg,
-		Window:       *window,
-		AdmitPending: *admitAt,
-		LogPath:      *logPath,
+		Grid:           gcfg,
+		Window:         *window,
+		AdmitPending:   *admitAt,
+		LogPath:        *logPath,
+		Fsync:          *fsync,
+		FsyncEvery:     *fsyncEvery,
+		MaxPending:     *maxPending,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
 	}
 
 	switch {
@@ -71,8 +92,26 @@ func main() {
 		if err := runSelfcheck(scfg); err != nil {
 			fatal(err)
 		}
+	case *crashtest:
+		if err := runCrashTest(gcfg, *seed, *ctEvents, *kills); err != nil {
+			fatal(err)
+		}
 	case *load:
-		if err := runLoad(scfg, *jobs, *machines, *live, *batch, *coldEvery, *cvb, *out); err != nil {
+		lcfg := daemon.LoadConfig{
+			Jobs:       *jobs,
+			Machines:   *machines,
+			LiveTarget: *live,
+			Batch:      *batch,
+			ColdEvery:  *coldEvery,
+			Seed:       gcfg.Seed,
+			CVB:        *cvb,
+			FailEvery:  *failEvery,
+		}
+		policies := []string{*fsync}
+		if *fsyncSweep {
+			policies = []string{daemon.FsyncNever, daemon.FsyncInterval, daemon.FsyncAlways}
+		}
+		if err := runLoad(scfg, lcfg, policies, *fsyncSweep, *out); err != nil {
 			fatal(err)
 		}
 	default:
@@ -87,41 +126,22 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// buildDaemon constructs the daemon, restoring from a snapshot and
-// replaying the log suffix when asked.
+// buildDaemon constructs the daemon through the shared crash-recovery
+// entry point: restore the snapshot when one exists, truncate a torn
+// WAL tail, replay the surviving suffix. A log with no snapshot replays
+// cold from the start, so re-serving an existing -log resumes instead
+// of colliding with its sequence numbers.
 func buildDaemon(cfg daemon.ServerConfig, snapPath string) (*daemon.Daemon, error) {
-	if snapPath == "" {
-		return daemon.NewDaemon(cfg)
-	}
-	f, err := os.Open(snapPath)
+	g, info, err := daemon.RecoverGrid(cfg.Grid, snapPath, cfg.LogPath)
 	if err != nil {
 		return nil, err
 	}
-	g, err := daemon.ReadSnapshot(f)
-	f.Close()
-	if err != nil {
-		return nil, err
+	if info.TornTail {
+		fmt.Fprintf(os.Stderr, "gridd: truncated a torn WAL tail (crash signature)\n")
 	}
-	if cfg.LogPath != "" {
-		if lf, err := os.Open(cfg.LogPath); err == nil {
-			events, rerr := eventlog.Read(lf)
-			lf.Close()
-			if rerr != nil {
-				return nil, rerr
-			}
-			replayed := 0
-			for _, e := range events {
-				if e.Seq <= g.Applied() {
-					continue
-				}
-				if aerr := g.Apply(e); aerr != nil {
-					return nil, fmt.Errorf("replaying event %d: %v", e.Seq, aerr)
-				}
-				replayed++
-			}
-			fmt.Fprintf(os.Stderr, "gridd: restored snapshot at seq %d, replayed %d logged events\n",
-				g.Applied()-uint64(replayed), replayed)
-		}
+	if info.FromSnapshot > 0 || info.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "gridd: recovered to seq %d (snapshot seq %d + %d replayed events)\n",
+			g.Applied(), info.FromSnapshot, info.Replayed)
 	}
 	return daemon.NewDaemonWith(g, cfg)
 }
@@ -132,14 +152,28 @@ func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
 		return err
 	}
 	d.Start()
-	srv := &http.Server{Addr: addr, Handler: d.Handler()}
+	// The base context is cancelled at shutdown so in-flight handlers
+	// observe it through r.Context(); ReadHeaderTimeout bounds how long
+	// a client may dribble headers while holding a connection.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
-		srv.Close()
+		fmt.Fprintln(os.Stderr, "gridd: draining")
+		shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+		defer stop()
+		srv.Shutdown(shutdownCtx) // stop accepting, wait for in-flight
+		cancel()                  // then cancel stragglers via base context
 	}()
-	fmt.Fprintf(os.Stderr, "gridd: serving on %s\n", addr)
+	fmt.Fprintf(os.Stderr, "gridd: serving on %s (fsync %s)\n", addr, cfg.Fsync)
 	err = srv.ListenAndServe()
 	if stopErr := d.Stop(); stopErr != nil {
 		return stopErr
@@ -150,18 +184,41 @@ func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
 	return err
 }
 
-// runLoad spins an in-process daemon on a loopback port and drives it
-// with the HTTP load harness, writing the benchmark report.
-func runLoad(cfg daemon.ServerConfig, jobs, machines, live, batch, coldEvery int, cvb, out string) error {
+// runCrashTest runs the durability torture and prints its summary.
+func runCrashTest(gcfg daemon.Config, seed uint64, events, kills int) error {
+	res, err := daemon.CrashTest(daemon.CrashTestConfig{
+		Grid:   gcfg,
+		Seed:   seed,
+		Events: events,
+		Kills:  kills,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	b, jerr := json.MarshalIndent(res, "", "  ")
+	if jerr != nil {
+		return jerr
+	}
+	fmt.Printf("gridd crashtest: ok — %d kills survived (%d torn tails, %d clean, %d via snapshot), every recovery bit-identical\n%s\n",
+		res.Kills, res.TornTails, res.CleanTails, res.SnapshotRuns, b)
+	return nil
+}
+
+// runLoadRow spins an in-process daemon on a loopback port and drives
+// it with the HTTP load harness, returning one benchmark row.
+func runLoadRow(cfg daemon.ServerConfig, lcfg daemon.LoadConfig) (*daemon.LoadRow, error) {
 	cfg.Window = 0 // admissions purely threshold-driven: deterministic event stream
 	d, err := daemon.NewDaemon(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	d.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	srv := &http.Server{Handler: d.Handler()}
 	go srv.Serve(ln)
@@ -170,33 +227,52 @@ func runLoad(cfg daemon.ServerConfig, jobs, machines, live, batch, coldEvery int
 		d.Stop()
 	}()
 
-	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "gridd: load harness → %s (%d jobs, %d machines, live %d)\n",
-		base, jobs, machines, live)
+	lcfg.BaseURL = "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "gridd: load harness → %s (%d jobs, %d machines, live %d, fsync %s)\n",
+		lcfg.BaseURL, lcfg.Jobs, lcfg.Machines, lcfg.LiveTarget, cfg.Fsync)
 	lastTick := time.Now()
-	row, err := daemon.RunLoad(daemon.LoadConfig{
-		BaseURL:    base,
-		Jobs:       jobs,
-		Machines:   machines,
-		LiveTarget: live,
-		Batch:      batch,
-		ColdEvery:  coldEvery,
-		Seed:       cfg.Grid.Seed,
-		CVB:        cvb,
-	}, cfg.AdmitPending, func(done int) {
+	return daemon.RunLoad(lcfg, cfg.AdmitPending, func(done int) {
 		if time.Since(lastTick) > 5*time.Second {
 			lastTick = time.Now()
-			fmt.Fprintf(os.Stderr, "gridd: %d/%d submitted\n", done, jobs)
+			fmt.Fprintf(os.Stderr, "gridd: %d/%d submitted\n", done, lcfg.Jobs)
 		}
 	})
-	if err != nil {
-		return err
+}
+
+// runLoad produces the benchmark report: one row per fsync policy. In
+// sweep mode each row writes a real WAL (a scratch file when -log is
+// unset) so the ladder measures actual durability cost.
+func runLoad(cfg daemon.ServerConfig, lcfg daemon.LoadConfig, policies []string, sweep bool, out string) error {
+	var scratch string
+	if sweep && cfg.LogPath == "" {
+		dir, err := os.MkdirTemp("", "gridd-load-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		scratch = dir
+	}
+	var rows []daemon.LoadRow
+	for i, policy := range policies {
+		rcfg := cfg
+		rcfg.Fsync = policy
+		if scratch != "" {
+			rcfg.LogPath = filepath.Join(scratch, fmt.Sprintf("wal-%d.log", i))
+		}
+		row, err := runLoadRow(rcfg, lcfg)
+		if err != nil {
+			return fmt.Errorf("load row (fsync %s): %w", policy, err)
+		}
+		fmt.Printf("gridd load [fsync %s]: %d jobs, %.0f jobs/s, p50 %.3fms p99 %.3fms, warm %.3fms vs cold %.3fms (%.1fx), makespan ratio %.3f\n",
+			row.Fsync, row.Jobs, row.ThroughputPS, row.LatP50Ms, row.LatP99Ms,
+			row.WarmAdmitMeanMs, row.ColdMeanMs, row.WarmSpeedup, row.MakespanRatio)
+		rows = append(rows, *row)
 	}
 	report := daemon.LoadReport{
 		Name:      "gridd-load",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoArch:    runtime.GOARCH,
-		Rows:      []daemon.LoadRow{*row},
+		Rows:      rows,
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -211,15 +287,14 @@ func runLoad(cfg daemon.ServerConfig, jobs, machines, live, batch, coldEvery int
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("gridd load: %d jobs, %.0f jobs/s, p50 %.3fms p99 %.3fms, warm %.3fms vs cold %.3fms (%.1fx), makespan ratio %.3f → %s\n",
-		row.Jobs, row.ThroughputPS, row.LatP50Ms, row.LatP99Ms,
-		row.WarmAdmitMeanMs, row.ColdMeanMs, row.WarmSpeedup, row.MakespanRatio, out)
+	fmt.Printf("gridd load: %d row(s) → %s\n", len(rows), out)
 	return nil
 }
 
 // runSelfcheck exercises the full restart contract over real HTTP and the
-// real filesystem: serve, submit, snapshot to disk, keep going, kill,
-// restore + replay the log, and require the restored snapshot to be
+// real filesystem: serve (with durable acknowledgements), submit,
+// snapshot to disk, keep going, kill, recover through the shared
+// restart entry point, and require the restored snapshot to be
 // byte-identical to the live one. CI runs this against a race-enabled
 // build.
 func runSelfcheck(cfg daemon.ServerConfig) error {
@@ -231,6 +306,7 @@ func runSelfcheck(cfg daemon.ServerConfig) error {
 	cfg.Window = 0
 	cfg.AdmitPending = 16
 	cfg.LogPath = dir + "/gridd.log"
+	cfg.Fsync = daemon.FsyncAlways
 
 	d, err := daemon.NewDaemon(cfg)
 	if err != nil {
@@ -311,37 +387,17 @@ func runSelfcheck(cfg daemon.ServerConfig) error {
 		return err
 	}
 
-	// "Restart": restore the mid snapshot, replay the log suffix.
-	sf, err := os.Open(dir + "/snap.json")
+	// "Restart": recover through the shared entry point — snapshot plus
+	// log suffix, exactly what serve does after a crash.
+	g, info, err := daemon.RecoverGrid(cfg.Grid, dir+"/snap.json", cfg.LogPath)
 	if err != nil {
 		return err
 	}
-	g, err := daemon.ReadSnapshot(sf)
-	sf.Close()
-	if err != nil {
-		return err
-	}
-	lf, err := os.Open(cfg.LogPath)
-	if err != nil {
-		return err
-	}
-	events, err := eventlog.Read(lf)
-	lf.Close()
-	if err != nil {
-		return err
-	}
-	replayed := 0
-	for _, e := range events {
-		if e.Seq <= g.Applied() {
-			continue
-		}
-		if err := g.Apply(e); err != nil {
-			return fmt.Errorf("replay seq %d: %v", e.Seq, err)
-		}
-		replayed++
-	}
-	if replayed == 0 {
+	if info.Replayed == 0 {
 		return fmt.Errorf("selfcheck: no events to replay past the snapshot")
+	}
+	if info.TornTail {
+		return fmt.Errorf("selfcheck: clean shutdown left a torn WAL tail")
 	}
 	var buf bytes.Buffer
 	if err := g.WriteSnapshot(&buf); err != nil {
@@ -351,7 +407,7 @@ func runSelfcheck(cfg daemon.ServerConfig) error {
 		return fmt.Errorf("selfcheck FAILED: restored snapshot differs from live\nlive:     %s\nrestored: %s",
 			finalSnap, buf.Bytes())
 	}
-	fmt.Printf("gridd selfcheck: ok (replayed %d events, %d snapshot bytes byte-identical)\n",
-		replayed, len(finalSnap))
+	fmt.Printf("gridd selfcheck: ok (snapshot seq %d + %d replayed events, %d snapshot bytes byte-identical)\n",
+		info.FromSnapshot, info.Replayed, len(finalSnap))
 	return nil
 }

@@ -37,6 +37,38 @@
 // bit-identical to the live state the snapshot was taken from: same
 // snapshot + same event log ⇒ bit-identical schedule trajectory, the
 // operational form of the repo's trajectory-compatibility discipline.
+//
+// # Failure model and durability
+//
+// The daemon assumes fail-stop crashes (power loss, OOM kill, SIGKILL)
+// that may tear the final in-flight write at any byte, and a filesystem
+// whose rename is atomic. Durability rests on two artifacts:
+//
+// The write-ahead log persists every applied event as one CRC-stamped
+// JSON line before the request that carried it is acknowledged; the
+// fsync policy (ServerConfig.Fsync) sets how much acknowledged work a
+// crash may lose — "always" group-commits at each request ack (zero
+// loss), "interval" syncs on a ticker (at most one interval), "never"
+// leaves syncing to the OS. On restart, eventlog.Recover applies the
+// torn-write rule: a corrupt or partial final record with nothing after
+// it is the crash signature and is truncated; corruption anywhere
+// earlier is a hard error, never silently skipped. Snapshots are
+// written atomically (temp file + fsync + rename) and verify their own
+// digest on load, so a crashed snapshot write leaves the previous
+// snapshot and a stray temp file, never a half-document.
+//
+// RecoverGrid is the single restart entry point — snapshot (if any)
+// plus log suffix — used by the daemon binary, the selfcheck and the
+// CrashTest torture, which kills the write path at hundreds of seeded
+// byte offsets (internal/chaos) and requires every recovery to
+// reproduce the reference digest trajectory bit for bit.
+//
+// Under overload the daemon degrades instead of falling over: a bounded
+// pending queue pushes back with 429 + Retry-After, request bodies and
+// handler wall time are capped, a handler panic answers 500 and
+// triggers a structural self-check (CheckInvariants) that flips the
+// daemon read-only if state verification fails, and Stop drains
+// in-flight requests before the final WAL flush.
 package daemon
 
 import (
@@ -738,6 +770,101 @@ func (g *Grid) Digest() string {
 	}
 	f(g.st.Flowtime())
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PendingCount returns the number of jobs awaiting admission — the
+// quantity the daemon's backpressure bound is enforced against.
+func (g *Grid) PendingCount() int { return len(g.pending) }
+
+// CheckInvariants verifies the grid's structural consistency: the id
+// maps, the free/pending/placed slot partition, assignment ranges and
+// the parking discipline. It is the health probe the daemon runs after
+// a handler panic — a clean result means the panic unwound without
+// half-applying a transition, so the daemon can keep serving; a
+// violation means the state machine is corrupt and must be rebuilt from
+// the WAL. It reads but never mutates.
+func (g *Grid) CheckInvariants() error {
+	p := g.park()
+	free := make(map[int32]bool, len(g.free))
+	for _, s := range g.free {
+		if s < 0 || int(s) >= len(g.jobs) {
+			return fmt.Errorf("daemon: free slot %d out of range", s)
+		}
+		if free[s] {
+			return fmt.Errorf("daemon: slot %d on the free stack twice", s)
+		}
+		free[s] = true
+	}
+	pending := make(map[int32]bool, len(g.pending))
+	for _, s := range g.pending {
+		if s < 0 || int(s) >= len(g.jobs) {
+			return fmt.Errorf("daemon: pending slot %d out of range", s)
+		}
+		if pending[s] {
+			return fmt.Errorf("daemon: slot %d pending twice", s)
+		}
+		pending[s] = true
+	}
+	var occupied int
+	for s := range g.jobs {
+		js := &g.jobs[s]
+		a := g.st.Assign(s)
+		if a < 0 || a > p {
+			return fmt.Errorf("daemon: slot %d assigned to machine %d outside [0, %d]", s, a, p)
+		}
+		switch js.state {
+		case slotFree:
+			if js.id != 0 {
+				return fmt.Errorf("daemon: free slot %d carries job id %d", s, js.id)
+			}
+			if !free[int32(s)] {
+				return fmt.Errorf("daemon: free slot %d missing from the free stack", s)
+			}
+			if a != p {
+				return fmt.Errorf("daemon: free slot %d not parked (on machine %d)", s, a)
+			}
+		case slotPending:
+			occupied++
+			if js.id == 0 {
+				return fmt.Errorf("daemon: pending slot %d without a job id", s)
+			}
+			if !pending[int32(s)] && a == p {
+				return fmt.Errorf("daemon: parked pending slot %d missing from the pending queue", s)
+			}
+			if got, ok := g.byID[js.id]; !ok || got != int32(s) {
+				return fmt.Errorf("daemon: job %d on slot %d not indexed (byID says %d, %v)", js.id, s, got, ok)
+			}
+		case slotPlaced:
+			occupied++
+			if js.id == 0 {
+				return fmt.Errorf("daemon: placed slot %d without a job id", s)
+			}
+			if a == p {
+				return fmt.Errorf("daemon: placed job %d parked", js.id)
+			}
+			if g.machs[a].id == 0 {
+				return fmt.Errorf("daemon: job %d placed on never-used machine slot %d", js.id, a)
+			}
+			if got, ok := g.byID[js.id]; !ok || got != int32(s) {
+				return fmt.Errorf("daemon: job %d on slot %d not indexed (byID says %d, %v)", js.id, s, got, ok)
+			}
+		default:
+			return fmt.Errorf("daemon: slot %d in unknown state %d", s, js.state)
+		}
+	}
+	if len(g.byID) != occupied {
+		return fmt.Errorf("daemon: byID holds %d entries for %d occupied slots", len(g.byID), occupied)
+	}
+	for id, m := range g.machByID {
+		if m < 0 || m >= len(g.machs) {
+			return fmt.Errorf("daemon: machine %d indexed to slot %d out of range", id, m)
+		}
+		if g.machs[m].id != id || !g.machs[m].alive {
+			return fmt.Errorf("daemon: machByID[%d]=%d disagrees with slot (id %d, alive %v)",
+				id, m, g.machs[m].id, g.machs[m].alive)
+		}
+	}
+	return nil
 }
 
 // LiveInstance extracts the current placed jobs and alive machines as a

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"gridcma/internal/etc"
+	"gridcma/internal/eventlog"
 	"gridcma/internal/heuristics"
 	"gridcma/internal/rng"
 	"gridcma/internal/schedule"
@@ -103,6 +105,11 @@ type LoadConfig struct {
 	// stream is seeded independently, so enabling it does not perturb the
 	// machine-speed draws.
 	CVB string `json:"cvb,omitempty"`
+	// FailEvery triggers a machine-failure storm every N batches: one
+	// random alive machine fails mid-load and a replacement joins (when
+	// the grid has slot headroom; otherwise the fleet stays shrunk until
+	// the next admission recycles the slot). 0 disables storms.
+	FailEvery int `json:"fail_every,omitempty"`
 }
 
 // LoadRow is one benchmark artifact row: scale, throughput, placement
@@ -128,6 +135,14 @@ type LoadRow struct {
 	WarmAdmitP99Ms  float64 `json:"warm_admit_p99_ms"`
 	WarmAdmitMeanMs float64 `json:"warm_admit_mean_ms"`
 
+	// Fsync is the daemon's WAL durability policy during the run.
+	Fsync string `json:"fsync,omitempty"`
+	// Storms counts machine-failure storms injected by the harness;
+	// Rejected429 counts submissions the daemon pushed back on (each was
+	// retried after the advertised Retry-After).
+	Storms      int    `json:"storms,omitempty"`
+	Rejected429 uint64 `json:"rejected_429,omitempty"`
+
 	ColdSamples    int     `json:"cold_samples"`
 	ColdMeanMs     float64 `json:"cold_mean_ms"`
 	WarmSpeedup    float64 `json:"warm_speedup"`
@@ -150,31 +165,54 @@ type LoadReport struct {
 
 // loadClient is a thin JSON client over the daemon API.
 type loadClient struct {
-	base string
-	c    *http.Client
+	base   string
+	c      *http.Client
+	rej429 uint64
 }
 
+// post sends one JSON request, honouring backpressure: a 429 is waited
+// out (the advertised Retry-After, capped so the harness keeps pace
+// with short admission windows) and retried — the well-behaved-client
+// half of the bounded-queue contract.
 func (lc *loadClient) post(path string, body, out any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := lc.c.Post(lc.base+path, "application/json", bytes.NewReader(b))
-	if err != nil {
+	for {
+		resp, err := lc.c.Post(lc.base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			lc.rej429++
+			wait := 100 * time.Millisecond
+			if s, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && s > 0 {
+				wait = time.Duration(s) * time.Second
+			}
+			if wait > 250*time.Millisecond {
+				wait = 250 * time.Millisecond
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			return fmt.Errorf("POST %s: %s (%s)", path, resp.Status, e.Error)
+		}
+		if out == nil {
+			resp.Body.Close()
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("POST %s: %s (%s)", path, resp.Status, e.Error)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func (lc *loadClient) get(path string, out any) error {
@@ -220,13 +258,19 @@ func RunLoad(cfg LoadConfig, window int, progress func(done int)) (*LoadRow, err
 	lc := &loadClient{base: cfg.BaseURL, c: &http.Client{Timeout: 5 * time.Minute}}
 	r := rng.New(cfg.Seed)
 
-	// Machines join first, as one batch of events.
+	// Machines join first, as one batch of events; the applied events
+	// carry the assigned ids, which the storm injector draws victims from.
 	joins := make([]map[string]any, cfg.Machines)
 	for i := range joins {
 		joins[i] = map[string]any{"type": "join", "mult": float64(1 + r.Intn(cfg.MachRange))}
 	}
-	if err := lc.post("/event", joins, nil); err != nil {
+	var joined []eventlog.Event
+	if err := lc.post("/event", joins, &joined); err != nil {
 		return nil, err
+	}
+	alive := make([]uint64, 0, len(joined))
+	for _, e := range joined {
+		alive = append(alive, e.Mach)
 	}
 
 	t0 := time.Now()
@@ -235,6 +279,7 @@ func RunLoad(cfg LoadConfig, window int, progress func(done int)) (*LoadRow, err
 	coldWall := 0.0
 	coldN := 0
 	batchNo := 0
+	storms := 0
 	for submitted < cfg.Jobs {
 		n := cfg.Batch
 		if rem := cfg.Jobs - submitted; rem < n {
@@ -268,6 +313,27 @@ func RunLoad(cfg LoadConfig, window int, progress func(done int)) (*LoadRow, err
 			if err := lc.post("/event", completes, nil); err != nil {
 				return nil, err
 			}
+		}
+
+		// Machine-failure storm: one random alive machine fails, a
+		// replacement joins. A join refusal (no slot headroom until the
+		// next admission recycles the departed slot) shrinks the fleet —
+		// degraded capacity is part of what the storm exercises.
+		if cfg.FailEvery > 0 && batchNo%cfg.FailEvery == 0 && len(alive) > 1 {
+			k := r.Intn(len(alive))
+			victim := alive[k]
+			if err := lc.post("/event",
+				[]map[string]any{{"type": "fail", "mach": victim}}, nil); err != nil {
+				return nil, err
+			}
+			alive = append(alive[:k], alive[k+1:]...)
+			var rj []eventlog.Event
+			if err := lc.post("/event", []map[string]any{
+				{"type": "join", "mult": float64(1 + r.Intn(cfg.MachRange))},
+			}, &rj); err == nil && len(rj) == 1 {
+				alive = append(alive, rj[0].Mach)
+			}
+			storms++
 		}
 
 		if cfg.ColdEvery > 0 && batchNo%cfg.ColdEvery == 0 {
@@ -325,6 +391,9 @@ func RunLoad(cfg LoadConfig, window int, progress func(done int)) (*LoadRow, err
 		WarmAdmitP50Ms:  stats.AdmitWall.P50Ms,
 		WarmAdmitP99Ms:  stats.AdmitWall.P99Ms,
 		WarmAdmitMeanMs: stats.AdmitWall.MeanMs,
+		Fsync:           stats.Fsync,
+		Storms:          storms,
+		Rejected429:     lc.rej429,
 		ColdSamples:     coldN,
 		WarmMakespan:    final.WarmMakespan,
 		ColdMakespan:    final.ColdMakespan,

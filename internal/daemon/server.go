@@ -1,8 +1,11 @@
 package daemon
 
 import (
+	"cmp"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -12,6 +15,26 @@ import (
 	"time"
 
 	"gridcma/internal/eventlog"
+)
+
+// WAL fsync policies (ServerConfig.Fsync).
+const (
+	// FsyncAlways syncs at every mutating request acknowledgement: one
+	// group commit covers the whole request batch, so an acknowledged
+	// request is durable but throughput is not bounded by per-record
+	// fsync latency.
+	FsyncAlways = "always"
+	// FsyncInterval syncs on a background ticker (FsyncEvery, default
+	// 100ms): a crash loses at most one interval of acknowledged events.
+	FsyncInterval = "interval"
+	// FsyncNever (the default) flushes at admission boundaries and on
+	// stop but leaves syncing to the OS page cache.
+	FsyncNever = "never"
+)
+
+const (
+	defaultMaxBody    = 1 << 20
+	defaultFsyncEvery = 100 * time.Millisecond
 )
 
 // ServerConfig parameterises a Daemon around a Grid.
@@ -28,6 +51,21 @@ type ServerConfig struct {
 	// disables persistence. The file is created if missing. The log is
 	// buffered and flushed on snapshot, stop and admission boundaries.
 	LogPath string `json:"log_path,omitempty"`
+	// Fsync selects the WAL durability policy: FsyncAlways,
+	// FsyncInterval or FsyncNever (empty = never).
+	Fsync string `json:"fsync,omitempty"`
+	// FsyncEvery is the FsyncInterval period (0 = 100ms).
+	FsyncEvery time.Duration `json:"fsync_every,omitempty"`
+	// MaxPending bounds the pending-admission queue: submissions that
+	// would push it past the bound are rejected with 429 + Retry-After
+	// instead of growing daemon memory without limit (0 = unbounded).
+	MaxPending int `json:"max_pending,omitempty"`
+	// MaxBodyBytes caps request bodies; oversized bodies get 413
+	// (0 = 1 MiB).
+	MaxBodyBytes int64 `json:"max_body_bytes,omitempty"`
+	// RequestTimeout bounds each handler's wall time; requests past it
+	// get 503 (0 = unbounded).
+	RequestTimeout time.Duration `json:"request_timeout,omitempty"`
 }
 
 // Daemon wraps a Grid with the HTTP API, the write-ahead event log and
@@ -52,6 +90,20 @@ type Daemon struct {
 	done     chan struct{}
 	stopOnce sync.Once
 	ticking  atomic.Bool // ticker goroutine launched; Stop must await done
+
+	// Degradation machinery. In-flight requests hold reqMu for reading;
+	// Stop takes it for writing to drain them before the final WAL
+	// flush. closed (under mu) makes any handler that slipped past the
+	// drain fail its apply instead of writing to a closed log.
+	reqMu    sync.RWMutex
+	draining atomic.Bool
+	degraded atomic.Bool
+	closed   bool
+
+	panics    atomic.Uint64
+	rej429    atomic.Uint64
+	rej503    atomic.Uint64
+	walErrors atomic.Uint64
 }
 
 // NewDaemon builds a daemon around a fresh grid.
@@ -67,6 +119,12 @@ func NewDaemon(cfg ServerConfig) (*Daemon, error) {
 // When cfg.LogPath is set, the log is opened for append and the writer
 // continues from the grid's applied sequence number.
 func NewDaemonWith(g *Grid, cfg ServerConfig) (*Daemon, error) {
+	switch cfg.Fsync {
+	case "", FsyncNever, FsyncAlways, FsyncInterval:
+	default:
+		return nil, fmt.Errorf("daemon: unknown fsync policy %q (want %s, %s or %s)",
+			cfg.Fsync, FsyncAlways, FsyncInterval, FsyncNever)
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		g:        g,
@@ -86,24 +144,45 @@ func NewDaemonWith(g *Grid, cfg ServerConfig) (*Daemon, error) {
 	return d, nil
 }
 
-// Start launches the admission ticker (when configured). Redundant calls
-// are no-ops.
+// Start launches the background ticker goroutine: the admission window
+// (when configured) and the FsyncInterval sync loop share one goroutine
+// so Stop has a single thing to await. Redundant calls are no-ops.
 func (d *Daemon) Start() {
-	if d.cfg.Window <= 0 || !d.ticking.CompareAndSwap(false, true) {
+	syncing := d.cfg.Fsync == FsyncInterval && d.wal != nil
+	if (d.cfg.Window <= 0 && !syncing) || !d.ticking.CompareAndSwap(false, true) {
 		return
 	}
 	go func() {
 		defer close(d.done)
-		t := time.NewTicker(d.cfg.Window)
-		defer t.Stop()
+		var admitC, syncC <-chan time.Time
+		if d.cfg.Window > 0 {
+			t := time.NewTicker(d.cfg.Window)
+			defer t.Stop()
+			admitC = t.C
+		}
+		if syncing {
+			every := d.cfg.FsyncEvery
+			if every <= 0 {
+				every = defaultFsyncEvery
+			}
+			t := time.NewTicker(every)
+			defer t.Stop()
+			syncC = t.C
+		}
 		for {
 			select {
 			case <-d.stop:
 				return
-			case <-t.C:
+			case <-admitC:
 				d.mu.Lock()
 				if _, pending, _ := d.g.Live(); pending > 0 {
 					d.applyLocked(eventlog.Event{Type: eventlog.Admit})
+				}
+				d.mu.Unlock()
+			case <-syncC:
+				d.mu.Lock()
+				if err := d.syncLocked(); err != nil {
+					d.walErrors.Add(1)
 				}
 				d.mu.Unlock()
 			}
@@ -111,17 +190,27 @@ func (d *Daemon) Start() {
 	}()
 }
 
-// Stop halts the ticker and flushes/closes the write-ahead log. It is
+// Stop drains and shuts down: new requests are turned away with 503,
+// the ticker goroutine is awaited, in-flight handlers finish, and only
+// then is the WAL given its final flush, fsync and close — so stopping
+// under load never races the log against a half-served request. It is
 // safe to call more than once and without a prior Start; only the first
 // call closes the log.
 func (d *Daemon) Stop() error {
+	d.draining.Store(true)
 	d.stopOnce.Do(func() { close(d.stop) })
 	if d.ticking.Load() {
 		<-d.done
 	}
+	// Barrier: acquiring the write lock waits for every in-flight
+	// handler (read holders) to return.
+	d.reqMu.Lock()
+	d.reqMu.Unlock() //nolint:staticcheck // empty critical section is the drain
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.flushLocked(true)
+	err := d.flushLocked(true)
+	d.closed = true
+	return err
 }
 
 func (d *Daemon) flushLocked(closeFile bool) error {
@@ -132,11 +221,37 @@ func (d *Daemon) flushLocked(closeFile bool) error {
 		return err
 	}
 	if closeFile {
-		err := d.walFile.Close()
+		err := d.walFile.Sync()
+		if cerr := d.walFile.Close(); err == nil {
+			err = cerr
+		}
 		d.wal, d.walFile = nil, nil
 		return err
 	}
 	return d.walFile.Sync()
+}
+
+// syncLocked flushes the writer and fsyncs the log file; d.mu held.
+func (d *Daemon) syncLocked() error {
+	if d.wal == nil || d.closed {
+		return nil
+	}
+	if err := d.wal.Flush(); err != nil {
+		return err
+	}
+	return d.walFile.Sync()
+}
+
+// commitLocked is the group-commit barrier: under FsyncAlways a
+// mutating request is not acknowledged until every event it appended is
+// flushed and fsynced. One sync covers the whole request batch, which
+// is what keeps "always" usable under load — per-record fsync would cap
+// throughput at the disk's sync rate regardless of batch size.
+func (d *Daemon) commitLocked() error {
+	if d.cfg.Fsync != FsyncAlways {
+		return nil
+	}
+	return d.syncLocked()
 }
 
 // applyLocked stamps e with the producer timestamp, applies it to the
@@ -149,6 +264,9 @@ func (d *Daemon) flushLocked(closeFile bool) error {
 // for the next event. Admission events additionally record wall-clock
 // metrics: window latency and per-job submit→placement latency.
 func (d *Daemon) applyLocked(e eventlog.Event) (eventlog.Event, error) {
+	if d.closed {
+		return e, errors.New("daemon: stopped")
+	}
 	e.Seq = 0 // stamped below; clients cannot pick sequence numbers
 	e.T = time.Since(d.started).Seconds()
 	if d.wal != nil {
@@ -165,6 +283,7 @@ func (d *Daemon) applyLocked(e eventlog.Event) (eventlog.Event, error) {
 		if _, err := d.wal.Append(e); err != nil {
 			// The grid advanced but the log did not: the log file is
 			// failing and durability is gone — surface it loudly.
+			d.walErrors.Add(1)
 			return e, fmt.Errorf("daemon: event %d applied but not persisted: %w", e.Seq, err)
 		}
 	}
@@ -216,7 +335,104 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", d.handleStats)
 	mux.HandleFunc("POST /admit", d.handleAdmit)
 	mux.HandleFunc("GET /coldcheck", d.handleColdCheck)
-	return mux
+	var h http.Handler = mux
+	if d.cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, d.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	// The recover middleware sits outside the timeout handler because
+	// http.TimeoutHandler re-raises inner-handler panics in its own
+	// ServeHTTP caller — this ordering catches both direct and
+	// re-raised panics.
+	h = d.recoverPanics(h)
+	return d.gate(h)
+}
+
+// gate is the outermost middleware: it refuses new work while the
+// daemon drains or after state corruption, tracks in-flight requests so
+// Stop can wait for them, and caps request bodies.
+func (d *Daemon) gate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d.draining.Load() {
+			d.rej503.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "daemon is shutting down")
+			return
+		}
+		if d.degraded.Load() && r.Method != http.MethodGet {
+			// Reads stay up for diagnosis; mutations are refused until
+			// the operator rebuilds from the WAL.
+			d.rej503.Add(1)
+			httpError(w, http.StatusServiceUnavailable,
+				"daemon degraded: state failed verification after a panic; restart to rebuild from the log")
+			return
+		}
+		d.reqMu.RLock()
+		defer d.reqMu.RUnlock()
+		maxBody := d.cfg.MaxBodyBytes
+		if maxBody <= 0 {
+			maxBody = defaultMaxBody
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recoverPanics turns a handler panic into a 500 and probes the grid's
+// structural invariants before accepting more work: a clean probe means
+// the panic unwound without half-applying a transition (Apply mutates
+// only after validation), so the daemon keeps serving; a violation
+// flips it to degraded, rejecting all further mutations.
+func (d *Daemon) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			d.panics.Add(1)
+			d.mu.Lock()
+			err := d.g.CheckInvariants()
+			d.mu.Unlock()
+			if err != nil {
+				d.degraded.Store(true)
+				fmt.Fprintf(os.Stderr, "gridd: state verification failed after panic %v: %v\n", p, err)
+			}
+			httpError(w, http.StatusInternalServerError, "internal error: %v", p)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// retryAfter is the Retry-After value for backpressure rejections: the
+// admission window rounded up to whole seconds (pending drains at the
+// next window close), floored at one second.
+func (d *Daemon) retryAfter() string {
+	secs := int(math.Ceil(d.cfg.Window.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// decodeJSON decodes a request body, mapping an exceeded body cap to
+// 413 and anything else unparseable to 400.
+func decodeJSON(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"decoding %s: request body exceeds %d bytes", what, mbe.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "decoding %s: %v", what, err)
+		return false
+	}
+	return true
 }
 
 func (d *Daemon) handleColdCheck(w http.ResponseWriter, r *http.Request) {
@@ -253,8 +469,7 @@ type SubmitResponse struct {
 
 func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding submit: %v", err)
+	if !decodeJSON(w, r, "submit", &req) {
 		return
 	}
 	bases := req.Bases
@@ -277,6 +492,16 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.cfg.MaxPending > 0 {
+		if _, pending, _ := d.g.Live(); pending+len(bases) > d.cfg.MaxPending {
+			d.rej429.Add(1)
+			w.Header().Set("Retry-After", d.retryAfter())
+			httpError(w, http.StatusTooManyRequests,
+				"pending queue full: %d pending + %d submitted exceeds %d; retry after the next admission",
+				pending, len(bases), d.cfg.MaxPending)
+			return
+		}
+	}
 	resp := SubmitResponse{IDs: make([]uint64, 0, len(bases))}
 	for _, b := range bases {
 		e := eventlog.Event{Type: eventlog.Submit, Job: d.g.NextJobID(), Base: b}
@@ -292,13 +517,21 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		resp.IDs = append(resp.IDs, e.Job)
 	}
 	resp.Admitted = d.maybeAdmitLocked()
+	if err := d.commitLocked(); err != nil {
+		d.walErrors.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error": fmt.Sprintf("submit applied but not durable: %v", err), "ids": resp.IDs,
+		})
+		return
+	}
 	writeJSON(w, resp)
 }
 
 func (d *Daemon) handleEvent(w http.ResponseWriter, r *http.Request) {
 	var raw json.RawMessage
-	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding event: %v", err)
+	if !decodeJSON(w, r, "event", &raw) {
 		return
 	}
 	var events []eventlog.Event
@@ -317,6 +550,22 @@ func (d *Daemon) handleEvent(w http.ResponseWriter, r *http.Request) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.cfg.MaxPending > 0 {
+		nSubmit := 0
+		for _, e := range events {
+			if e.Type == eventlog.Submit {
+				nSubmit++
+			}
+		}
+		if _, pending, _ := d.g.Live(); nSubmit > 0 && pending+nSubmit > d.cfg.MaxPending {
+			d.rej429.Add(1)
+			w.Header().Set("Retry-After", d.retryAfter())
+			httpError(w, http.StatusTooManyRequests,
+				"pending queue full: %d pending + %d submitted exceeds %d; retry after the next admission",
+				pending, nSubmit, d.cfg.MaxPending)
+			return
+		}
+	}
 	applied := make([]eventlog.Event, 0, len(events))
 	for _, e := range events {
 		// Convenience: producers may leave ids to the daemon.
@@ -334,6 +583,11 @@ func (d *Daemon) handleEvent(w http.ResponseWriter, r *http.Request) {
 		applied = append(applied, stamped)
 	}
 	d.maybeAdmitLocked()
+	if err := d.commitLocked(); err != nil {
+		d.walErrors.Add(1)
+		httpError(w, http.StatusInternalServerError, "events applied but not durable: %v", err)
+		return
+	}
 	writeJSON(w, applied)
 }
 
@@ -371,9 +625,19 @@ func (d *Daemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	d.mu.Lock()
 	e, err := d.applyLocked(eventlog.Event{Type: eventlog.Admit})
 	placed := len(d.g.LastPlacements())
+	var cerr error
+	if err == nil {
+		if cerr = d.commitLocked(); cerr != nil {
+			d.walErrors.Add(1)
+		}
+	}
 	d.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if cerr != nil {
+		httpError(w, http.StatusInternalServerError, "admit applied but not durable: %v", cerr)
 		return
 	}
 	writeJSON(w, map[string]any{"seq": e.Seq, "placed": placed})
@@ -391,6 +655,15 @@ type Stats struct {
 	Latency   LatStats `json:"latency"`
 	AdmitWall LatStats `json:"admit_wall"`
 	UptimeS   float64  `json:"uptime_s"`
+
+	// Degradation observability.
+	Fsync       string `json:"fsync"`
+	MaxPending  int    `json:"max_pending,omitempty"`
+	Panics      uint64 `json:"panics"`
+	Rejected429 uint64 `json:"rejected_429"`
+	Rejected503 uint64 `json:"rejected_503"`
+	WALErrors   uint64 `json:"wal_errors"`
+	Degraded    bool   `json:"degraded"`
 }
 
 // LatStats summarises a wall-clock sample set in milliseconds.
@@ -440,6 +713,14 @@ func (d *Daemon) StatsNow() Stats {
 		Latency:   summarize(d.placeLat),
 		AdmitWall: summarize(d.admitWall),
 		UptimeS:   time.Since(d.started).Seconds(),
+
+		Fsync:       cmp.Or(d.cfg.Fsync, FsyncNever),
+		MaxPending:  d.cfg.MaxPending,
+		Panics:      d.panics.Load(),
+		Rejected429: d.rej429.Load(),
+		Rejected503: d.rej503.Load(),
+		WALErrors:   d.walErrors.Load(),
+		Degraded:    d.degraded.Load(),
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"gridcma/internal/schedule"
 )
@@ -212,4 +214,61 @@ func ReadSnapshot(r io.Reader) (*Grid, error) {
 		return nil, fmt.Errorf("daemon: decoding snapshot: %v", err)
 	}
 	return Restore(&s)
+}
+
+// SaveSnapshot writes s to path atomically: the document goes to a temp
+// file in the same directory, is fsynced, and only then renamed over the
+// target; the directory is fsynced so the rename itself is durable. A
+// crash at any point leaves either the old snapshot or the new one —
+// never a torn half-document — which is what lets restore trust a
+// snapshot file that exists at all (its digest self-verification catches
+// the rest).
+func SaveSnapshot(s *Snapshot, path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	enc := json.NewEncoder(tmp)
+	if err = enc.Encode(s); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		err = d.Sync()
+		d.Close()
+	}
+	return err
+}
+
+// WriteSnapshotFile atomically persists the grid's snapshot to path.
+func (g *Grid) WriteSnapshotFile(path string) error {
+	return SaveSnapshot(g.Snapshot(), path)
+}
+
+// LoadSnapshotFile restores a grid from a snapshot file written by
+// WriteSnapshotFile (digest-verified). A missing file returns
+// os.ErrNotExist, which restart logic treats as "replay the log from
+// scratch".
+func LoadSnapshotFile(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
 }

@@ -1,0 +1,27 @@
+package eventlog
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkAppendEventCRC guards the CRC encode path: a steady-state
+// Append — canonical encoding, checksum and buffered write — must not
+// allocate. CI runs this with -benchtime 1x and fails on allocs/op > 0,
+// like the probe/sweep/scan guards.
+func BenchmarkAppendEventCRC(b *testing.B) {
+	w := NewWriter(io.Discard)
+	e := Event{Type: Submit, Job: 1, Base: 3.511971, T: 1.25}
+	// Warm the scratch and bufio buffers so the measured loop is the
+	// steady state a long-running daemon sits in.
+	if _, err := w.Append(e); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,13 +11,39 @@
 // informational (simulated or wall-clock time of the producer) and never
 // feeds a transition, which is what makes "same snapshot + same log →
 // bit-identical trajectory" a contract rather than an aspiration.
+//
+// # Durability format
+//
+// Every record written by a Writer carries a trailing "crc" field: the
+// IEEE CRC-32 of the record's canonical encoding with the crc field
+// itself excluded. The encoding is canonical because the Writer emits it
+// byte-deterministically (fixed field order, shortest float form), so a
+// reader can re-encode a parsed record and compare checksums without
+// storing the raw line. Records without a crc field (logs written before
+// it existed) are tolerated and skip verification.
+//
+// Corruption handling follows the torn-write rule of every
+// write-ahead log: a record that fails to parse or checksum with
+// nothing but it at the end of the log is a torn final write — Read
+// returns a *TornTailError carrying the clean prefix and the byte
+// offset to truncate at, and recovery continues from the prefix. The
+// same failure with valid data after it cannot be a torn write; it is
+// mid-log corruption and stays a hard error, because silently dropping
+// interior events would break the replay contract far more subtly than
+// refusing to start.
 package eventlog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
+	"os"
+	"strconv"
 )
 
 // Type enumerates the event vocabulary.
@@ -57,26 +83,33 @@ type Event struct {
 	Base float64 `json:"base,omitempty"`
 	Mach uint64  `json:"mach,omitempty"`
 	Mult float64 `json:"mult,omitempty"`
+	// Crc is the IEEE CRC-32 of the record's canonical encoding with this
+	// field excluded, stamped by the Writer. Zero means absent (old logs,
+	// or hand-written events) and skips verification on read.
+	Crc uint32 `json:"crc,omitempty"`
 }
 
 // Validate reports the first structural error of e: unknown type, or a
 // missing/invalid field for the type. It does not (and cannot) check
 // consistency against scheduler state — that is the consumer's job.
 func (e Event) Validate() error {
+	// The comparisons are written !(x >= 1) so NaN payloads — which would
+	// also break the JSON encoding — are rejected alongside out-of-range
+	// ones; infinities are rejected explicitly.
 	switch e.Type {
 	case Submit:
 		if e.Job == 0 {
 			return fmt.Errorf("eventlog: submit without job id")
 		}
-		if e.Base < 1 {
-			return fmt.Errorf("eventlog: submit job %d base %v, want >= 1", e.Job, e.Base)
+		if !(e.Base >= 1) || math.IsInf(e.Base, 0) {
+			return fmt.Errorf("eventlog: submit job %d base %v, want finite >= 1", e.Job, e.Base)
 		}
 	case Join:
 		if e.Mach == 0 {
 			return fmt.Errorf("eventlog: join without machine id")
 		}
-		if e.Mult < 1 {
-			return fmt.Errorf("eventlog: join machine %d mult %v, want >= 1", e.Mach, e.Mult)
+		if !(e.Mult >= 1) || math.IsInf(e.Mult, 0) {
+			return fmt.Errorf("eventlog: join machine %d mult %v, want finite >= 1", e.Mach, e.Mult)
 		}
 	case Leave, Fail:
 		if e.Mach == 0 {
@@ -91,13 +124,64 @@ func (e Event) Validate() error {
 	default:
 		return fmt.Errorf("eventlog: unknown event type %q", e.Type)
 	}
+	if math.IsNaN(e.T) || math.IsInf(e.T, 0) {
+		return fmt.Errorf("eventlog: %s with non-finite timestamp %v", e.Type, e.T)
+	}
 	return nil
 }
 
-// Writer appends events to a log, assigning sequence numbers.
+// appendJSON appends the canonical JSON encoding of e — fixed field
+// order, shortest round-tripping float form, crc excluded — to b and
+// returns the extended slice. This is the byte stream the crc field
+// covers; it allocates only when b's capacity is exceeded.
+func (e Event) appendJSON(b []byte) []byte {
+	b = append(b, '{')
+	if e.Seq != 0 {
+		b = append(b, `"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+		b = append(b, ',')
+	}
+	if e.T != 0 {
+		b = append(b, `"t":`...)
+		b = strconv.AppendFloat(b, e.T, 'g', -1, 64)
+		b = append(b, ',')
+	}
+	b = append(b, `"type":"`...)
+	b = append(b, e.Type...)
+	b = append(b, '"')
+	if e.Job != 0 {
+		b = append(b, `,"job":`...)
+		b = strconv.AppendUint(b, e.Job, 10)
+	}
+	if e.Base != 0 {
+		b = append(b, `,"base":`...)
+		b = strconv.AppendFloat(b, e.Base, 'g', -1, 64)
+	}
+	if e.Mach != 0 {
+		b = append(b, `,"mach":`...)
+		b = strconv.AppendUint(b, e.Mach, 10)
+	}
+	if e.Mult != 0 {
+		b = append(b, `,"mult":`...)
+		b = strconv.AppendFloat(b, e.Mult, 'g', -1, 64)
+	}
+	return append(b, '}')
+}
+
+// checksum is the CRC the record's crc field must carry: the IEEE
+// CRC-32 of the canonical encoding with Crc zeroed.
+func (e Event) checksum(scratch []byte) (uint32, []byte) {
+	e.Crc = 0
+	scratch = e.appendJSON(scratch[:0])
+	return crc32.ChecksumIEEE(scratch), scratch
+}
+
+// Writer appends events to a log, assigning sequence numbers and
+// stamping each record with its CRC.
 type Writer struct {
-	bw  *bufio.Writer
-	seq uint64
+	bw      *bufio.Writer
+	seq     uint64
+	scratch []byte
 }
 
 // NewWriter wraps w as an event log writer starting at sequence 1.
@@ -111,23 +195,27 @@ func NewWriterAt(w io.Writer, seq uint64) *Writer {
 	return &Writer{bw: bufio.NewWriter(w), seq: seq}
 }
 
-// Append validates e, stamps the next sequence number and writes one log
-// line. The stamped event is returned so the caller can apply exactly
-// what was persisted.
+// Append validates e, stamps the next sequence number and the record
+// CRC, and writes one log line. The stamped event is returned so the
+// caller can apply exactly what was persisted. Steady-state appends do
+// not allocate: the encoding runs through a reused scratch buffer.
 func (w *Writer) Append(e Event) (Event, error) {
 	if err := e.Validate(); err != nil {
 		return Event{}, err
 	}
 	w.seq++
 	e.Seq = w.seq
-	b, err := json.Marshal(e)
-	if err != nil {
-		return Event{}, err
-	}
+	e.Crc = 0
+	b := e.appendJSON(w.scratch[:0])
+	e.Crc = crc32.ChecksumIEEE(b)
+	// Splice the crc in as the trailing field: the checksum covers every
+	// byte before it.
+	b = b[:len(b)-1]
+	b = append(b, `,"crc":`...)
+	b = strconv.AppendUint(b, uint64(e.Crc), 10)
+	b = append(b, '}', '\n')
+	w.scratch = b[:0]
 	if _, err := w.bw.Write(b); err != nil {
-		return Event{}, err
-	}
-	if err := w.bw.WriteByte('\n'); err != nil {
 		return Event{}, err
 	}
 	return e, nil
@@ -139,35 +227,164 @@ func (w *Writer) Seq() uint64 { return w.seq }
 // Flush drains the write buffer to the underlying writer.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// Read parses a whole log. Events must be valid and their sequence
-// numbers strictly increasing; blank lines are skipped.
+// TornTailError reports a log whose final record is torn: a partial or
+// corrupt last write with nothing after it. It carries the clean prefix
+// and the byte offset the log should be truncated at before appending
+// resumes. Every earlier record parsed, checksummed and sequenced
+// cleanly — the torn record is the only loss, and it was never
+// acknowledged as durable by a Writer whose flush did not return.
+type TornTailError struct {
+	Events []Event // the clean prefix, in log order
+	Offset int64   // byte offset where the torn record starts
+	Line   int     // 1-based line number of the torn record
+	Err    error   // what was wrong with the tail
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("eventlog: torn tail at line %d (byte %d) after %d clean events: %v",
+		e.Line, e.Offset, len(e.Events), e.Err)
+}
+
+func (e *TornTailError) Unwrap() error { return e.Err }
+
+// parseRecord decodes and verifies one log line. seqHard reports
+// whether a failure is a sequencing violation on a structurally sound
+// record — never attributable to a torn write, so always a hard error.
+func parseRecord(raw []byte, last uint64, scratch []byte) (e Event, scratchOut []byte, seqHard bool, err error) {
+	scratchOut = scratch
+	if err = json.Unmarshal(raw, &e); err != nil {
+		return
+	}
+	if err = e.Validate(); err != nil {
+		return
+	}
+	if e.Crc != 0 {
+		var want uint32
+		want, scratchOut = e.checksum(scratch)
+		if want != e.Crc {
+			err = fmt.Errorf("crc mismatch: record %#x, computed %#x", e.Crc, want)
+			return
+		}
+	}
+	if e.Seq <= last {
+		// A complete, checksummed record with a non-advancing sequence
+		// number is producer corruption, not a torn write.
+		seqHard = true
+		err = fmt.Errorf("sequence %d not after %d", e.Seq, last)
+	}
+	return
+}
+
+// Read parses a whole log. Events must be valid, checksum clean (when a
+// crc is present) and strictly increasing in sequence; blank lines are
+// skipped. A corrupt or partial final record returns a *TornTailError
+// carrying the clean prefix; corruption anywhere before the end is a
+// hard error.
 func Read(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	br := bufio.NewReaderSize(r, 64*1024)
 	var out []Event
+	var scratch []byte
 	var last uint64
+	var off int64
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, rerr
 		}
-		var e Event
-		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("eventlog: line %d: %v", line, err)
+		if len(raw) > 0 {
+			line++
+			recStart := off
+			off += int64(len(raw))
+			rec := bytes.TrimRight(raw, "\r\n")
+			if len(rec) > 0 {
+				e, s, seqHard, perr := parseRecord(rec, last, scratch)
+				scratch = s
+				if perr != nil {
+					if !seqHard && tailIsEmpty(br, rerr) {
+						return out, &TornTailError{Events: out, Offset: recStart, Line: line, Err: perr}
+					}
+					return nil, fmt.Errorf("eventlog: line %d: %v", line, perr)
+				}
+				last = e.Seq
+				out = append(out, e)
+			}
 		}
-		if err := e.Validate(); err != nil {
-			return nil, fmt.Errorf("eventlog: line %d: %v", line, err)
+		if rerr == io.EOF {
+			return out, nil
 		}
-		if e.Seq <= last {
-			return nil, fmt.Errorf("eventlog: line %d: sequence %d not after %d", line, e.Seq, last)
-		}
-		last = e.Seq
-		out = append(out, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+}
+
+// tailIsEmpty reports whether nothing but whitespace follows the record
+// that just failed — the condition under which the failure is a torn
+// final write rather than mid-log corruption. rerr is the read error of
+// the failed record's own line (io.EOF when the line was the
+// unterminated end of the file).
+func tailIsEmpty(br *bufio.Reader, rerr error) bool {
+	if rerr == io.EOF {
+		return true
 	}
-	return out, nil
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return true
+		}
+		switch b {
+		case '\n', '\r', ' ', '\t':
+		default:
+			return false
+		}
+	}
+}
+
+// Recover reads the log file at path, applying the torn-write rule in
+// place: a torn final record is truncated off the file (so appends can
+// resume cleanly after it) and the clean prefix is returned with
+// torn=true. A missing file is an empty log. Mid-log corruption is
+// returned as a hard error with the file untouched.
+//
+// A crash can also tear off exactly the final record's newline — the
+// record parses and checksums clean but the file is unterminated, and a
+// blind append would concatenate the next record onto its line. Recover
+// repairs that case by appending the terminator; the record is kept (it
+// persisted in full) and torn stays false.
+func Recover(path string) (events []Event, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	events, err = Read(f)
+	unterminated := false
+	if st, serr := f.Stat(); serr == nil && st.Size() > 0 {
+		var tail [1]byte
+		if _, rerr := f.ReadAt(tail[:], st.Size()-1); rerr == nil && tail[0] != '\n' {
+			unterminated = true
+		}
+	}
+	f.Close()
+	var tte *TornTailError
+	if errors.As(err, &tte) {
+		if terr := os.Truncate(path, tte.Offset); terr != nil {
+			return nil, false, fmt.Errorf("eventlog: truncating torn tail of %s at %d: %v", path, tte.Offset, terr)
+		}
+		return tte.Events, true, nil
+	}
+	if err == nil && unterminated {
+		af, aerr := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if aerr != nil {
+			return nil, false, fmt.Errorf("eventlog: terminating unterminated tail of %s: %v", path, aerr)
+		}
+		_, aerr = af.Write([]byte{'\n'})
+		if cerr := af.Close(); aerr == nil {
+			aerr = cerr
+		}
+		if aerr != nil {
+			return nil, false, fmt.Errorf("eventlog: terminating unterminated tail of %s: %v", path, aerr)
+		}
+	}
+	return events, false, err
 }

@@ -2,7 +2,11 @@ package eventlog
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -39,6 +43,9 @@ func TestRoundTrip(t *testing.T) {
 		if e.Seq != uint64(i+1) {
 			t.Errorf("event %d seq %d, want %d", i, e.Seq, i+1)
 		}
+		if e.Crc == 0 {
+			t.Errorf("event %d came back without a crc", i)
+		}
 		want := events[i]
 		want.Seq = e.Seq
 		// Floats must round-trip exactly: the replay contract depends on
@@ -52,15 +59,46 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCanonicalEncodingIsValidJSON pins the hand-rolled encoder against
+// encoding/json: every record the Writer emits must parse back to the
+// event it encoded, bit for bit, including awkward float forms.
+func TestCanonicalEncodingIsValidJSON(t *testing.T) {
+	cases := []Event{
+		{Seq: 1, Type: Admit},
+		{Seq: 42, Type: Submit, Job: 7, Base: 1 + 1e-15, T: 2e-07},
+		{Seq: 43, Type: Submit, Job: 8, Base: 1e18, T: 1e21},
+		{Seq: 44, Type: Join, Mach: 3, Mult: 1.0000000000000002},
+		{Seq: 45, Type: Complete, Job: 7, Mach: 3, T: 0.1234567890123456},
+	}
+	for _, want := range cases {
+		raw := want.appendJSON(nil)
+		var got Event
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("canonical encoding %s does not parse: %v", raw, err)
+		}
+		if got.Seq != want.Seq || got.Type != want.Type || got.Job != want.Job || got.Mach != want.Mach ||
+			math.Float64bits(got.Base) != math.Float64bits(want.Base) ||
+			math.Float64bits(got.Mult) != math.Float64bits(want.Mult) ||
+			math.Float64bits(got.T) != math.Float64bits(want.T) {
+			t.Errorf("round trip of %+v through %s came back %+v", want, raw, got)
+		}
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	bad := []Event{
 		{Type: "bogus"},
-		{Type: Submit, Base: 2},           // no job id
-		{Type: Submit, Job: 1, Base: 0.5}, // base < 1
-		{Type: Join, Mult: 1},             // no machine id
-		{Type: Join, Mach: 1, Mult: 0.2},  // mult < 1
-		{Type: Leave},                     // no machine id
-		{Type: Complete},                  // no job id
+		{Type: Submit, Base: 2},                        // no job id
+		{Type: Submit, Job: 1, Base: 0.5},              // base < 1
+		{Type: Submit, Job: 1, Base: math.NaN()},       // NaN base
+		{Type: Submit, Job: 1, Base: math.Inf(1)},      // Inf base
+		{Type: Join, Mult: 1},                          // no machine id
+		{Type: Join, Mach: 1, Mult: 0.2},               // mult < 1
+		{Type: Join, Mach: 1, Mult: math.NaN()},        // NaN mult
+		{Type: Leave},                                  // no machine id
+		{Type: Complete},                               // no job id
+		{Type: Admit, T: math.Inf(-1)},                 // non-finite timestamp
+		{Type: Submit, Job: 1, Base: 2, T: math.NaN()}, // NaN timestamp
 	}
 	for _, e := range bad {
 		if err := e.Validate(); err == nil {
@@ -89,5 +127,289 @@ func TestWriterAtContinuesSequence(t *testing.T) {
 	}
 	if e.Seq != 42 {
 		t.Fatalf("seq %d, want 42", e.Seq)
+	}
+}
+
+// testLog writes a small log and returns its bytes plus the cumulative
+// record boundaries (byte offset after each record, newline included).
+func testLog(t *testing.T) ([]byte, []int64) {
+	t.Helper()
+	events := []Event{
+		{Type: Join, Mach: 1, Mult: 2},
+		{Type: Submit, Job: 1, Base: 3.5, T: 0.125},
+		{Type: Submit, Job: 2, Base: 1},
+		{Type: Admit},
+		{Type: Complete, Job: 1},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var bounds []int64
+	for _, e := range events {
+		if _, err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, int64(buf.Len()))
+	}
+	return buf.Bytes(), bounds
+}
+
+// TestTornTailEveryCut exercises the torn-write rule at every byte
+// offset of a log: a cut at (or one byte short of, losing only the
+// newline) a record boundary reads clean; any other cut returns a
+// TornTailError whose prefix and truncation offset are exactly the
+// records before the tear. This is the exhaustive form of the
+// "truncated-tail" restore table.
+func TestTornTailEveryCut(t *testing.T) {
+	logBytes, bounds := testLog(t)
+	atBoundary := func(c int64) (bool, int) {
+		n := 0
+		for _, b := range bounds {
+			if c == b || c == b-1 {
+				return true, n + 1
+			}
+			if b < c {
+				n++
+			}
+		}
+		return c == 0, n
+	}
+	for cut := int64(0); cut <= int64(len(logBytes)); cut++ {
+		events, err := Read(bytes.NewReader(logBytes[:cut]))
+		clean, nFull := atBoundary(cut)
+		if cut == int64(len(logBytes)) {
+			clean, nFull = true, len(bounds)
+		}
+		if clean {
+			if err != nil {
+				t.Fatalf("cut %d at boundary: unexpected error %v", cut, err)
+			}
+			if len(events) != nFull {
+				t.Fatalf("cut %d at boundary: %d events, want %d", cut, len(events), nFull)
+			}
+			continue
+		}
+		var tte *TornTailError
+		if !errors.As(err, &tte) {
+			t.Fatalf("cut %d mid-record: got %d events, err %v; want TornTailError", cut, len(events), err)
+		}
+		if len(tte.Events) != nFull {
+			t.Fatalf("cut %d: torn prefix %d events, want %d", cut, len(tte.Events), nFull)
+		}
+		wantOff := int64(0)
+		if nFull > 0 {
+			wantOff = bounds[nFull-1]
+		}
+		if tte.Offset != wantOff {
+			t.Fatalf("cut %d: torn offset %d, want %d", cut, tte.Offset, wantOff)
+		}
+	}
+}
+
+// TestFlippedByteMidLogIsHardError pins the other half of the rule:
+// corruption with valid records after it can never be a torn write, so
+// Read must refuse the whole log rather than resynchronise past it.
+func TestFlippedByteMidLogIsHardError(t *testing.T) {
+	logBytes, bounds := testLog(t)
+	// Flip one byte in the middle of the second record.
+	pos := (bounds[0] + bounds[1]) / 2
+	for _, flip := range []byte{0xff, '0', '"'} {
+		mut := append([]byte(nil), logBytes...)
+		if mut[pos] == flip {
+			continue
+		}
+		mut[pos] = flip
+		_, err := Read(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip %q at %d: corrupt interior record accepted", flip, pos)
+		}
+		var tte *TornTailError
+		if errors.As(err, &tte) {
+			t.Fatalf("flip %q at %d: mid-log corruption classified as torn tail", flip, pos)
+		}
+	}
+}
+
+// TestFlippedByteInFinalRecordIsTorn: the same corruption on the last
+// record is indistinguishable from a torn write and is truncated. The
+// CRC is what catches flips that leave the JSON well-formed.
+func TestFlippedByteInFinalRecordIsTorn(t *testing.T) {
+	logBytes, bounds := testLog(t)
+	last := bounds[len(bounds)-1]
+	prev := bounds[len(bounds)-2]
+	// Target a digit inside the final record's payload so the line stays
+	// plausible JSON and only the checksum can object.
+	pos := prev + (last-prev)/2
+	mut := append([]byte(nil), logBytes...)
+	if mut[pos] == '9' {
+		mut[pos] = '8'
+	} else if mut[pos] >= '0' && mut[pos] <= '9' {
+		mut[pos]++
+	} else {
+		mut[pos] = 'x'
+	}
+	_, err := Read(bytes.NewReader(mut))
+	var tte *TornTailError
+	if !errors.As(err, &tte) {
+		t.Fatalf("corrupt final record: got %v, want TornTailError", err)
+	}
+	if len(tte.Events) != len(bounds)-1 || tte.Offset != prev {
+		t.Fatalf("torn classification off: %d events at offset %d, want %d at %d",
+			len(tte.Events), tte.Offset, len(bounds)-1, prev)
+	}
+}
+
+// TestDuplicateSeqFinalRecordIsHardError: a structurally sound,
+// checksum-clean record with a non-advancing sequence number is producer
+// corruption even at the tail — truncating it would silently drop an
+// acknowledged event.
+func TestDuplicateSeqFinalRecordIsHardError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Append(Event{Type: Admit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec := append([]byte(nil), buf.Bytes()...)
+	dup := append(append([]byte(nil), rec...), rec...) // seq 1 twice
+	_, err := Read(bytes.NewReader(dup))
+	if err == nil {
+		t.Fatal("duplicate final sequence number accepted")
+	}
+	var tte *TornTailError
+	if errors.As(err, &tte) {
+		t.Fatal("duplicate final sequence number classified as torn tail")
+	}
+}
+
+// TestOldLogWithoutCRC: records written before the crc field existed
+// (plain encoding/json, no crc) stay readable — verification is simply
+// skipped.
+func TestOldLogWithoutCRC(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Type: Join, Mach: 1, Mult: 1.5},
+		{Seq: 2, Type: Submit, Job: 1, Base: 2},
+		{Seq: 3, Type: Admit},
+	}
+	var buf bytes.Buffer
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i].Crc != 0 {
+			t.Fatalf("crc-less record %d came back with crc %d", i, got[i].Crc)
+		}
+	}
+}
+
+// TestRecoverTruncatesTornTail: the file-level recovery helper truncates
+// a torn final record in place, after which appends resume cleanly and
+// the whole log reads back without error.
+// TestRecoverRepairsMissingNewline pins the newline-tear case: a crash
+// that cuts exactly the final record's terminator leaves a clean-parsing
+// but unterminated log. Recover must keep the record (it persisted in
+// full), append the terminator, and leave the file safe to append to.
+func TestRecoverRepairsMissingNewline(t *testing.T) {
+	logBytes, _ := testLog(t)
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, logBytes[:len(logBytes)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, torn, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("newline-only tear classified as torn; the record was intact")
+	}
+	want, err := Read(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(want) {
+		t.Fatalf("recovered %d events, want %d", len(events), len(want))
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, logBytes) {
+		t.Fatalf("repaired file is not the original log (%d vs %d bytes)", len(got), len(logBytes))
+	}
+	// Appends resume on a fresh line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriterAt(f, events[len(events)-1].Seq)
+	if _, err := w.Append(Event{Type: Admit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if more, torn, err := Recover(path); err != nil || torn || len(more) != len(want)+1 {
+		t.Fatalf("append after repair: %d events torn=%v err=%v", len(more), torn, err)
+	}
+}
+
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	logBytes, bounds := testLog(t)
+	path := filepath.Join(t.TempDir(), "wal.log")
+	cut := bounds[2] + 7 // mid fourth record
+	if err := os.WriteFile(path, logBytes[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, torn, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(events) != 3 {
+		t.Fatalf("recover: torn=%v events=%d, want torn 3-event prefix", torn, len(events))
+	}
+	if fi, _ := os.Stat(path); fi.Size() != bounds[2] {
+		t.Fatalf("file not truncated: %d bytes, want %d", fi.Size(), bounds[2])
+	}
+	// Appends resume after the truncation point.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriterAt(f, events[len(events)-1].Seq)
+	if _, err := w.Append(Event{Type: Admit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	events, torn, err = Recover(path)
+	if err != nil || torn {
+		t.Fatalf("second recover: torn=%v err=%v", torn, err)
+	}
+	if len(events) != 4 || events[3].Seq != 4 {
+		t.Fatalf("resumed log holds %d events, want 4 ending at seq 4", len(events))
+	}
+	// A missing file is an empty log, not an error.
+	events, torn, err = Recover(filepath.Join(t.TempDir(), "absent.log"))
+	if err != nil || torn || len(events) != 0 {
+		t.Fatalf("recover of missing file: %v %v %v", events, torn, err)
 	}
 }
