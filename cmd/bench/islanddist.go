@@ -1,0 +1,299 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"gridcma/internal/chaos"
+	"gridcma/internal/config"
+	"gridcma/internal/etc"
+	"gridcma/internal/island/dist"
+	"gridcma/internal/retry"
+	"gridcma/internal/run"
+	"gridcma/internal/transport"
+)
+
+// DistRow is one measured distributed-island run.
+type DistRow struct {
+	Scenario  string  `json:"scenario"`
+	Transport string  `json:"transport"`
+	Workers   int     `json:"workers"`
+	Rounds    int     `json:"rounds"`
+	Seconds   float64 `json:"seconds"`
+	// Round latency distribution across the run's migration rounds.
+	RoundP50Ms float64 `json:"round_p50_ms"`
+	RoundP99Ms float64 `json:"round_p99_ms"`
+	// RecoveryMs are the observed dead->serving gaps for every worker the
+	// supervisor restarted during the run (kill scenarios only).
+	RecoveryMs []float64 `json:"recovery_ms,omitempty"`
+	Restarts   int       `json:"restarts,omitempty"`
+	Survivors  int       `json:"survivors"`
+	Fitness    float64   `json:"fitness"`
+	Makespan   float64   `json:"makespan"`
+	Flowtime   float64   `json:"flowtime"`
+	// IdenticalToFull re-verifies the determinism contract: transient
+	// faults (and the TCP transport itself) must reproduce the
+	// failure-free local bytes.
+	IdenticalToFull bool `json:"identical_to_full,omitempty"`
+	// QualityVsFull is fitness(this row) / fitness(failure-free run) —
+	// the price of finishing degraded on the survivor islands.
+	QualityVsFull float64 `json:"quality_vs_full,omitempty"`
+}
+
+// IslandDistReport is the BENCH_island_dist.json schema.
+type IslandDistReport struct {
+	Name       string    `json:"name"`
+	CreatedAt  string    `json:"created_at"`
+	GoVersion  string    `json:"go"`
+	CPUs       int       `json:"cpus"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Quick      bool      `json:"quick"`
+	Instance   string    `json:"instance"`
+	Islands    int       `json:"islands"`
+	Rows       []DistRow `json:"results"`
+}
+
+// distRig owns the shared instance and coordinator config for every row.
+type distRig struct {
+	spec  string
+	in    *etc.Instance
+	cfg   dist.Config
+	iters int
+}
+
+func newDistRig(quick bool) (*distRig, error) {
+	spec := "512x16:c_hihi:s7"
+	islands, rounds := 8, 16
+	if quick {
+		spec, islands, rounds = "128x8:c_hihi:s5", 4, 6
+	}
+	gs, err := etc.ParseGenSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	in, err := gs.Generate()
+	if err != nil {
+		return nil, err
+	}
+	w, h, ls := 3, 3, 2
+	cfg := dist.Config{
+		Islands:        islands,
+		MigrationEvery: 2,
+		Migrants:       2,
+		Spec:           config.Spec{Width: &w, Height: &h, LSIterations: &ls},
+		Workers:        4,
+		Instance:       spec,
+		CallTimeout:    30 * time.Second,
+		Retry:          retry.Policy{MaxAttempts: 12, Initial: time.Millisecond, Max: 8 * time.Millisecond},
+		MaxRestarts:    2,
+	}
+	return &distRig{spec: spec, in: in, cfg: cfg, iters: rounds * cfg.MigrationEvery}, nil
+}
+
+// runDist executes one distributed run over the given worker factory and
+// folds the coordinator report into a DistRow.
+func (g *distRig) runDist(scenario, trans string, factory dist.WorkerFactory, plan []chaos.MsgFault, seed uint64) (DistRow, run.Result, *dist.Report, error) {
+	coord, err := dist.New(g.cfg, factory)
+	if err != nil {
+		return DistRow{}, run.Result{}, nil, err
+	}
+	defer coord.Close()
+	if plan != nil {
+		coord.SetChaos(dist.NewChaosPlan(plan, time.Millisecond))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	start := time.Now()
+	res, rep, err := coord.Run(g.in, run.Budget{MaxIterations: g.iters}.WithContext(ctx), seed)
+	if err != nil {
+		return DistRow{}, run.Result{}, nil, fmt.Errorf("%s/%s: %w", scenario, trans, err)
+	}
+	row := DistRow{
+		Scenario:   scenario,
+		Transport:  trans,
+		Workers:    g.cfg.Workers,
+		Rounds:     rep.Rounds,
+		Seconds:    time.Since(start).Seconds(),
+		RoundP50Ms: percentile(rep.RoundMs, 0.50),
+		RoundP99Ms: percentile(rep.RoundMs, 0.99),
+		RecoveryMs: rep.RecoveryMs,
+		Restarts:   rep.Restarts,
+		Survivors:  len(rep.Survivors),
+		Fitness:    res.Fitness,
+		Makespan:   res.Makespan,
+		Flowtime:   res.Flowtime,
+	}
+	return row, res, rep, nil
+}
+
+func (g *distRig) localFactory() dist.WorkerFactory {
+	workers := make([]*dist.Worker, g.cfg.Workers)
+	for i := range workers {
+		workers[i] = dist.NewPinnedWorker(g.in)
+	}
+	return func(w int) (transport.Client, error) {
+		return transport.NewLocal(workers[w]), nil
+	}
+}
+
+// tcpFactory serves one dist.Worker per loopback listener and dials each
+// on demand, mirroring a real islandd fleet on one host.
+func (g *distRig) tcpFactory() (dist.WorkerFactory, func(), error) {
+	addrs := make([]string, g.cfg.Workers)
+	lns := make([]net.Listener, g.cfg.Workers)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+		go transport.Serve(ln, dist.NewPinnedWorker(g.in))
+	}
+	factory := func(w int) (transport.Client, error) {
+		return transport.Dial(addrs[w], 5*time.Second)
+	}
+	stop := func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	return factory, stop, nil
+}
+
+// runIslandDist measures the distributed island engine — failure-free
+// round latency on both transports, supervised recovery after a worker
+// kill, and the quality cost of finishing degraded after a permanent
+// worker death — and writes BENCH_island_dist.json.
+func runIslandDist(out string, seed uint64, quick bool) {
+	rig, err := newDistRig(quick)
+	if err != nil {
+		fatal(err)
+	}
+	rep := IslandDistReport{
+		Name:       "gridcma-island-dist",
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Instance:   rig.spec,
+		Islands:    rig.cfg.Islands,
+	}
+
+	// Failure-free baseline: local transport.
+	full, fullRes, _, err := rig.runDist("full", "local", rig.localFactory(), nil, seed)
+	if err != nil {
+		fatal(err)
+	}
+	full.QualityVsFull = 1
+	rep.Rows = append(rep.Rows, full)
+	fmt.Printf("%-10s %-6s rounds=%d p50=%.1fms p99=%.1fms fitness=%.0f\n",
+		full.Scenario, full.Transport, full.Rounds, full.RoundP50Ms, full.RoundP99Ms, full.Fitness)
+
+	// Same run over TCP: measures the wire overhead and re-verifies the
+	// transport-independence of the bytes.
+	tcpFactory, stopTCP, err := rig.tcpFactory()
+	if err != nil {
+		fatal(err)
+	}
+	tcpRow, tcpRes, _, err := rig.runDist("full", "tcp", tcpFactory, nil, seed)
+	stopTCP()
+	if err != nil {
+		fatal(err)
+	}
+	tcpRow.IdenticalToFull = sameRunResult(tcpRes, fullRes)
+	tcpRow.QualityVsFull = tcpRow.Fitness / full.Fitness
+	rep.Rows = append(rep.Rows, tcpRow)
+	fmt.Printf("%-10s %-6s rounds=%d p50=%.1fms p99=%.1fms identical=%v\n",
+		tcpRow.Scenario, tcpRow.Transport, tcpRow.Rounds, tcpRow.RoundP50Ms, tcpRow.RoundP99Ms, tcpRow.IdenticalToFull)
+
+	// Kill + supervised restart: the coordinator re-sends the island
+	// populations, so the run must still reproduce the baseline bytes;
+	// RecoveryMs is the measured dead->serving gap.
+	killPlan := []chaos.MsgFault{{Worker: 1, Round: 2, Kind: chaos.MsgKill}}
+	kill, killRes, _, err := rig.runDist("kill-restart", "local", rig.localFactory(), killPlan, seed)
+	if err != nil {
+		fatal(err)
+	}
+	kill.IdenticalToFull = sameRunResult(killRes, fullRes)
+	kill.QualityVsFull = kill.Fitness / full.Fitness
+	rep.Rows = append(rep.Rows, kill)
+	fmt.Printf("%-10s %-6s restarts=%d recovery=%v identical=%v\n",
+		kill.Scenario, kill.Transport, kill.Restarts, fmtMs(kill.RecoveryMs), kill.IdenticalToFull)
+
+	// Permanent death: every restart of worker 1 fails, its islands die,
+	// the ring heals and the run finishes degraded on the survivors. The
+	// quality ratio is the headline robustness number.
+	downPlan := []chaos.MsgFault{{Worker: 1, Round: 2, Kind: chaos.MsgDown}}
+	down, _, _, err := rig.runDist("degraded", "local", rig.localFactory(), downPlan, seed)
+	if err != nil {
+		fatal(err)
+	}
+	down.QualityVsFull = down.Fitness / full.Fitness
+	rep.Rows = append(rep.Rows, down)
+	fmt.Printf("%-10s %-6s survivors=%d/%d quality-vs-full=%.4f\n",
+		down.Scenario, down.Transport, down.Survivors, rig.cfg.Islands, down.QualityVsFull)
+
+	path := filepath.Join(out, "BENCH_island_dist.json")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func sameRunResult(a, b run.Result) bool {
+	if a.Fitness != b.Fitness || a.Makespan != b.Makespan || a.Flowtime != b.Flowtime {
+		return false
+	}
+	if len(a.Best) != len(b.Best) {
+		return false
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+func fmtMs(xs []float64) string {
+	if len(xs) == 0 {
+		return "[]"
+	}
+	out := "["
+	for i, x := range xs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.1fms", x)
+	}
+	return out + "]"
+}

@@ -107,6 +107,8 @@ func main() {
 		frontier      = flag.Bool("frontier", false, "run the large-instance ladder instead of the engine matrix; writes BENCH_frontier.json")
 		frontierSpecs = flag.String("ladder", "", "comma-separated GenSpec ladder for -frontier (default "+defaultFrontierLadder+")")
 
+		islandDist = flag.Bool("islanddist", false, "measure the distributed island engine (round latency, recovery, degraded quality); writes BENCH_island_dist.json")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -151,6 +153,11 @@ func main() {
 	allow, err := parseAlgos(*algos)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *islandDist {
+		runIslandDist(*out, *seed, *quick)
+		return
 	}
 
 	if *frontier {

@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"gridcma/internal/daemon"
@@ -147,22 +148,43 @@ func buildDaemon(cfg daemon.ServerConfig, snapPath string) (*daemon.Daemon, erro
 }
 
 func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
-	d, err := buildDaemon(cfg, snapPath)
+	// Bind the listener before recovery and serve a swappable handler:
+	// orchestrator probes get liveness (200 /healthz) the moment the
+	// process is up, honest unreadiness (503 /readyz "recovering") while
+	// the snapshot restores and the WAL replays, and the real API only
+	// after the daemon exists — never a connection refusal window.
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	d.Start()
+	var handler atomic.Value
+	handler.Store(daemon.RecoveringHandler())
+
 	// The base context is cancelled at shutdown so in-flight handlers
 	// observe it through r.Context(); ReadHeaderTimeout bounds how long
 	// a client may dribble headers while holding a connection.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           d.Handler(),
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return ctx },
 	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "gridd: listening on %s, recovering state\n", addr)
+
+	d, err := buildDaemon(cfg, snapPath)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	d.Start()
+	handler.Store(d.Handler())
+	d.SetReady(true)
+
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
@@ -174,7 +196,7 @@ func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
 		cancel()                  // then cancel stragglers via base context
 	}()
 	fmt.Fprintf(os.Stderr, "gridd: serving on %s (fsync %s)\n", addr, cfg.Fsync)
-	err = srv.ListenAndServe()
+	err = <-serveErr
 	if stopErr := d.Stop(); stopErr != nil {
 		return stopErr
 	}

@@ -1,0 +1,44 @@
+// Command islandd is a distributed-island worker: it serves segment RPCs
+// (internal/transport JSONL over TCP) for a coordinator running the
+// distributed island engine (internal/island/dist).
+//
+//	islandd -listen :7411
+//
+// The worker is stateless between calls — every request carries the
+// instance generator spec, configuration, seed and population — so a
+// crashed islandd can be restarted (by the coordinator's supervisor, a
+// process manager, or by hand) with zero recovery protocol: the next
+// segment call re-sends everything. Instances materialised from specs
+// are cached per process, a pure warm-up optimisation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"gridcma/internal/island/dist"
+	"gridcma/internal/transport"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7411", "TCP address to serve segment RPCs on")
+		quiet  = flag.Bool("q", false, "suppress startup output")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "islandd:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("islandd: serving segment RPCs on %s\n", ln.Addr())
+	}
+	if err := transport.Serve(ln, dist.NewWorker()); err != nil {
+		fmt.Fprintln(os.Stderr, "islandd:", err)
+		os.Exit(1)
+	}
+}

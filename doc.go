@@ -171,6 +171,44 @@
 // through the daemon directly. BENCH_gridd.json holds the committed
 // million-job load-harness artifact.
 //
+// # Distributed islands & failure model
+//
+// internal/island/dist runs the coarse-grained island model across
+// supervised worker processes. The design premise is that workers are
+// stateless: one migration segment is a pure function (instance spec,
+// engine config, island seed, iteration count, population in) →
+// (result, population out), and the coordinator owns every island's
+// population between segments. That one decision buys the whole failure
+// model — a retried, duplicated or restarted call is always safe because
+// the worker holds nothing the coordinator cannot re-send.
+//
+// Calls travel over a pluggable transport (internal/transport): an
+// in-process Local client for tests and single-host runs, and a TCP
+// JSONL framing (one JSON header line plus one zero-allocation
+// population payload line) dialed against cmd/islandd worker daemons.
+// Every call carries a timeout and a jittered exponential retry policy
+// (internal/retry, the same client the gridd load harness uses to honour
+// 429 backpressure); transport failures mark the worker dead and the
+// supervisor lazily restarts it through the worker factory at the next
+// call, re-sending the population. A heartbeat loop (detection only)
+// notices silently hung workers between rounds. When a worker exhausts
+// its restart budget it is declared permanently down, its islands are
+// recorded dead, the migration ring heals around them, and the run
+// finishes on the survivors — graceful degradation, never a hung
+// barrier.
+//
+// Determinism is the contract that makes any of this testable: a
+// failure-free distributed run is byte-identical to the in-process
+// island scheduler for every transport and worker count, and a faulted
+// run is a pure function of (seed, fault plan) — transient faults
+// (drops, delays, duplicates, kills with successful restart) are fully
+// absorbed by retry and reproduce the failure-free bytes, while
+// permanent deaths reproduce a predictable survivor set and per-round
+// digest trajectory. gridsched -disttorture replays dozens of seeded
+// message-level fault plans twice each and enforces all of it
+// bit-for-bit; BENCH_island_dist.json holds the committed round-latency,
+// recovery-time and degraded-quality numbers.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
 package gridcma

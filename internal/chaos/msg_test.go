@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+// --- Satellite: file faults planned at byte 0 and beyond EOF. ---
+
+func TestFaultAtByteZero(t *testing.T) {
+	// At=0 means nothing ever persists: the very first write crosses the
+	// offset and tears with an empty prefix.
+	m := &memFile{}
+	f := Wrap(m, Fault{Kind: Crash, At: 0})
+	n, err := f.Write([]byte("abc"))
+	if !errors.Is(err, ErrCrashed) || n != 0 {
+		t.Fatalf("write at fault@0: n=%d err=%v, want 0/ErrCrashed", n, err)
+	}
+	if m.buf.Len() != 0 {
+		t.Fatalf("fault@0 persisted %q, want nothing", m.buf.String())
+	}
+	if !f.Tripped() {
+		t.Fatal("fault@0 did not report tripped")
+	}
+
+	m2 := &memFile{}
+	f2 := Wrap(m2, Fault{Kind: ShortWrite, At: 0})
+	n, err = f2.Write([]byte("abc"))
+	if !errors.Is(err, ErrShortWrite) || n != 0 {
+		t.Fatalf("short write at fault@0: n=%d err=%v, want 0/ErrShortWrite", n, err)
+	}
+	if n, err := f2.Write([]byte("xy")); n != 2 || err != nil {
+		t.Fatalf("handle unusable after short write@0: n=%d err=%v", n, err)
+	}
+	if m2.buf.String() != "xy" {
+		t.Fatalf("persisted %q, want %q", m2.buf.String(), "xy")
+	}
+}
+
+func TestFaultBeyondEOFNeverTrips(t *testing.T) {
+	// A fault offset past everything the workload writes must never fire:
+	// the wrapper is transparent and Tripped stays false, which is how a
+	// torture harness distinguishes "survived the fault" from "never
+	// reached it".
+	m := &memFile{}
+	f := Wrap(m, Fault{Kind: Crash, At: 1 << 30})
+	for i := 0; i < 10; i++ {
+		if n, err := f.Write([]byte("0123456789")); n != 10 || err != nil {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if f.Tripped() {
+		t.Fatal("fault beyond EOF reported tripped")
+	}
+	if f.Offset() != 100 || m.buf.Len() != 100 {
+		t.Fatalf("offset=%d len=%d, want 100/100", f.Offset(), m.buf.Len())
+	}
+
+	// Same for SyncFail: syncs below the offset pass through.
+	m2 := &memFile{}
+	f2 := Wrap(m2, Fault{Kind: SyncFail, At: 1 << 30})
+	if _, err := f2.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Sync(); err != nil || f2.Tripped() {
+		t.Fatalf("sync below offset: err=%v tripped=%v", err, f2.Tripped())
+	}
+}
+
+// --- Message-fault plans. ---
+
+func TestMsgPlanDeterministicAndInRange(t *testing.T) {
+	const n, workers, rounds = 64, 4, 8
+	a := MsgPlan(7, n, workers, rounds)
+	b := MsgPlan(7, n, workers, rounds)
+	if len(a) != n {
+		t.Fatalf("plan length %d, want %d", len(a), n)
+	}
+	kinds := map[MsgKind]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+		f := a[i]
+		if f.Worker < 0 || f.Worker >= workers {
+			t.Fatalf("fault %d worker %d out of range", i, f.Worker)
+		}
+		if f.Round < 0 || f.Round >= rounds {
+			t.Fatalf("fault %d round %d out of range", i, f.Round)
+		}
+		if f.Count < 1 {
+			t.Fatalf("fault %d count %d < 1", i, f.Count)
+		}
+		if f.Kind == MsgDrop && f.Count > 2 {
+			t.Fatalf("drop count %d exceeds the retry-absorbable bound", f.Count)
+		}
+		if f.Kind == MsgDown && f.Worker == 0 {
+			t.Fatal("permanent death planned for worker 0 (survivor guarantee broken)")
+		}
+		kinds[f.Kind]++
+	}
+	for k := MsgDrop; k < numMsgKinds; k++ {
+		if kinds[k] == 0 {
+			t.Errorf("64-fault plan contains no %v faults", k)
+		}
+	}
+	c := MsgPlan(8, n, workers, rounds)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical message plans")
+	}
+}
+
+func TestMsgPlanSingleWorkerNeverDownsIt(t *testing.T) {
+	for _, f := range MsgPlan(3, 128, 1, 6) {
+		if f.Kind == MsgDown {
+			t.Fatalf("single-host plan contains %v", f)
+		}
+		if f.Worker != 0 {
+			t.Fatalf("worker %d in a 1-worker plan", f.Worker)
+		}
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	want := map[MsgKind]string{
+		MsgDrop:  "msg-drop",
+		MsgDelay: "msg-delay",
+		MsgDup:   "msg-dup",
+		MsgKill:  "worker-kill",
+		MsgDown:  "worker-down",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	f := MsgFault{Worker: 2, Round: 3, Kind: MsgDrop, Count: 2}
+	if f.String() != "msg-drop@w2/r3 x2" {
+		t.Errorf("fault string %q", f.String())
+	}
+}

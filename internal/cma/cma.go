@@ -193,7 +193,7 @@ func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, 
 	if pool != nil && pool.Instance() != in {
 		pool = nil
 	}
-	e := newEngine(in, s.cfg, seed, nil, budget, pool)
+	e := newEngine(in, s.cfg, seed, nil, nil, budget, pool)
 	return e.run(budget, obs, s.Name())
 }
 
@@ -218,13 +218,41 @@ func (s *Scheduler) RunWithPopulationPooled(in *etc.Instance, budget run.Budget,
 	if pool != nil && pool.Instance() != in {
 		pool = nil
 	}
-	e := newEngine(in, s.cfg, seed, initial, budget, pool)
+	e := newEngine(in, s.cfg, seed, initial, nil, budget, pool)
 	res := e.run(budget, obs, s.Name())
 	final := make([]schedule.Schedule, len(e.pop))
 	for i, st := range e.pop {
 		final[i] = st.Schedule()
 	}
 	return res, final
+}
+
+// RunWithStatesPooled is the cache-aware sibling of
+// RunWithPopulationPooled: instead of rebuilding every cell's State from
+// a schedule (wholesale-invalidating its scan caches), the engine adopts
+// the caller's live States as the mesh — warm prefix sums, tournament
+// trees and ScanCache entries included — and returns the same slice,
+// still owned by the caller, for the next segment. Everything else is
+// identical to the schedule path: local search improves each individual
+// before the first evaluation, consuming exactly the same RNG draws, so
+// a segment resumed from states is bit-identical to one resumed from the
+// equivalent schedules (pinned by the island differential tests).
+//
+// states must be nil (fresh mesh, like initial=nil) or hold exactly
+// Width*Height entries on in.
+func (s *Scheduler) RunWithStatesPooled(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer, states []*schedule.State, pool *evalpool.Pool) (run.Result, []*schedule.State) {
+	if !budget.Bounded() {
+		panic("cma: unbounded budget")
+	}
+	if pool != nil && pool.Instance() != in {
+		pool = nil
+	}
+	if states != nil && len(states) != s.cfg.Width*s.cfg.Height {
+		panic("cma: RunWithStatesPooled: state count does not match the mesh")
+	}
+	e := newEngine(in, s.cfg, seed, nil, states, budget, pool)
+	res := e.run(budget, obs, s.Name())
+	return res, e.pop
 }
 
 // CellComponents exposes the cellular plumbing of a configuration — the
@@ -250,6 +278,7 @@ type engine struct {
 	nb     *cell.Neighborhood
 	pop    []*schedule.State
 	fit    []float64
+	adopt  []*schedule.State // caller-owned warm states adopted as the mesh
 	recOrd cell.SweepOrder
 	mutOrd cell.SweepOrder
 
@@ -277,7 +306,7 @@ type engine struct {
 	best evalpool.Best
 }
 
-func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Schedule, budget run.Budget, pool *evalpool.Pool) *engine {
+func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Schedule, adopt []*schedule.State, budget run.Budget, pool *evalpool.Pool) *engine {
 	if pool == nil {
 		pool = evalpool.New(in)
 	}
@@ -289,6 +318,7 @@ func newEngine(in *etc.Instance, cfg Config, seed uint64, initial []schedule.Sch
 		grid:   cell.NewGrid(cfg.Width, cfg.Height),
 		budget: budget,
 		pool:   pool,
+		adopt:  adopt,
 	}
 	e.nb = cell.NewNeighborhood(e.grid, cfg.Pattern)
 	n := e.grid.Size()
@@ -331,7 +361,11 @@ func (e *engine) workers() int {
 // legacy strictly sequential initialisation on the shared stream.
 func (e *engine) initPopulation(initial []schedule.Schedule) {
 	var base schedule.Schedule
-	if len(initial) > 0 {
+	if e.adopt != nil {
+		// Adopted warm states fill every cell; no seed individual is
+		// needed (and none of the paths below consumes RNG for one, so
+		// the streams stay aligned with the schedule-resume path).
+	} else if len(initial) > 0 {
 		base = initial[0]
 	} else if e.cfg.SeedHeuristic != nil {
 		base = e.cfg.SeedHeuristic(e.in)
@@ -357,19 +391,26 @@ func (e *engine) initPopulation(initial []schedule.Schedule) {
 // large instances — so cancellation is polled here too; a cancelled
 // engine still leaves every cell fully evaluated.
 func (e *engine) initCell(i int, initial []schedule.Schedule, base schedule.Schedule, frac float64, r *rng.Source) {
-	var s schedule.Schedule
-	switch {
-	case i < len(initial):
-		s = initial[i].Clone()
-	case base != nil && i == 0:
-		s = base.Clone()
-	case base != nil:
-		s = base.Clone()
-		schedule.Perturb(s, e.in, r, frac)
-	default:
-		s = schedule.NewRandom(e.in, r)
+	if e.adopt != nil {
+		// Cache-aware resume: the caller's live State becomes the cell,
+		// warm caches and all. No construction, no RNG draws — exactly
+		// like the i < len(initial) clone path below.
+		e.pop[i] = e.adopt[i]
+	} else {
+		var s schedule.Schedule
+		switch {
+		case i < len(initial):
+			s = initial[i].Clone()
+		case base != nil && i == 0:
+			s = base.Clone()
+		case base != nil:
+			s = base.Clone()
+			schedule.Perturb(s, e.in, r, frac)
+		default:
+			s = schedule.NewRandom(e.in, r)
+		}
+		e.pop[i] = schedule.NewState(e.in, s)
 	}
-	e.pop[i] = schedule.NewState(e.in, s)
 	if !e.budget.Cancelled() {
 		e.cfg.LocalSearch.Improve(e.pop[i], e.cfg.Objective, e.cfg.LSIterations, r)
 	}

@@ -1,0 +1,118 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// getStatus fetches a URL and decodes the JSON body into a string map.
+func getStatus(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decoding body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHealthzAlwaysAnswers(t *testing.T) {
+	d, srv := newTestDaemon(t, ServerConfig{Grid: DefaultConfig()})
+	code, body := getStatus(t, srv.URL+"/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+
+	// Liveness survives every unready condition — that is its job.
+	d.draining.Store(true)
+	if code, _ := getStatus(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain: %d", code)
+	}
+	d.draining.Store(false)
+	d.degraded.Store(true)
+	if code, body := getStatus(t, srv.URL+"/healthz"); code != http.StatusOK || body["degraded"] != true {
+		t.Fatalf("healthz while degraded: %d %v", code, body)
+	}
+	d.degraded.Store(false)
+}
+
+func TestReadyzReportsReasons(t *testing.T) {
+	d, srv := newTestDaemon(t, ServerConfig{Grid: DefaultConfig()})
+
+	if code, body := getStatus(t, srv.URL+"/readyz"); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("fresh daemon not ready: %d %v", code, body)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		set    func()
+		unset  func()
+		reason string
+	}{
+		{"draining", func() { d.draining.Store(true) }, func() { d.draining.Store(false) }, "draining"},
+		{"degraded", func() { d.degraded.Store(true) }, func() { d.degraded.Store(false) }, "degraded"},
+		{"recovering", func() { d.SetReady(false) }, func() { d.SetReady(true) }, "recovering"},
+	} {
+		tc.set()
+		code, body := getStatus(t, srv.URL+"/readyz")
+		tc.unset()
+		if code != http.StatusServiceUnavailable || body["reason"] != tc.reason {
+			t.Fatalf("%s: readyz %d %v, want 503 reason=%s", tc.name, code, body, tc.reason)
+		}
+	}
+
+	if code, _ := getStatus(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Fatal("readyz did not recover after conditions cleared")
+	}
+}
+
+// TestHealthProbesBypassTheGate: during a drain the gate 503s the API,
+// but probes still answer — an orchestrator must see "alive, not ready",
+// not a blanket refusal.
+func TestHealthProbesBypassTheGate(t *testing.T) {
+	d, srv := newTestDaemon(t, ServerConfig{Grid: DefaultConfig()})
+	d.draining.Store(true)
+	defer d.draining.Store(false)
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("gated API answered %d during drain, want 503", resp.StatusCode)
+	}
+	if code, _ := getStatus(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz gated during drain: %d", code)
+	}
+}
+
+func TestRecoveringHandler(t *testing.T) {
+	srv := httptest.NewServer(RecoveringHandler())
+	defer srv.Close()
+
+	if code, body := getStatus(t, srv.URL+"/healthz"); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+	code, body := getStatus(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || body["reason"] != "recovering" {
+		t.Fatalf("readyz: %d %v", code, body)
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("API call during recovery answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("recovery 503 without Retry-After")
+	}
+}

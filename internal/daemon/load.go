@@ -2,15 +2,17 @@ package daemon
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"gridcma/internal/etc"
 	"gridcma/internal/eventlog"
 	"gridcma/internal/heuristics"
+	"gridcma/internal/retry"
 	"gridcma/internal/rng"
 	"gridcma/internal/schedule"
 )
@@ -170,32 +172,40 @@ type loadClient struct {
 	rej429 uint64
 }
 
-// post sends one JSON request, honouring backpressure: a 429 is waited
-// out (the advertised Retry-After, capped so the harness keeps pace
-// with short admission windows) and retried — the well-behaved-client
-// half of the bounded-queue contract.
+// errBackpressure tags a 429 so the retry policy keeps waiting it out.
+var errBackpressure = errors.New("daemon: backpressure (429)")
+
+// post sends one JSON request, honouring backpressure through the shared
+// retry policy (internal/retry, the same stack the distributed island
+// transport rides): a 429 is waited out — the advertised Retry-After,
+// capped by Policy.Max so the harness keeps pace with short admission
+// windows, 100ms when the server names no delay — and retried without
+// bound; every other failure is permanent. The well-behaved-client half
+// of the bounded-queue contract.
 func (lc *loadClient) post(path string, body, out any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	for {
+	p := retry.Policy{
+		MaxAttempts: -1, // backpressure can outlast any fixed budget
+		Initial:     100 * time.Millisecond,
+		Max:         250 * time.Millisecond,
+		Jitter:      -1, // keep the harness's pacing deterministic
+	}
+	return p.Do(context.Background(), func(int) error {
 		resp, err := lc.c.Post(lc.base+path, "application/json", bytes.NewReader(b))
 		if err != nil {
-			return err
+			return retry.Permanent(err)
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			resp.Body.Close()
 			lc.rej429++
-			wait := 100 * time.Millisecond
-			if s, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && s > 0 {
-				wait = time.Duration(s) * time.Second
+			wait, ok := retry.ParseRetryAfter(resp.Header.Get("Retry-After"))
+			if !ok || wait <= 0 {
+				wait = 100 * time.Millisecond
 			}
-			if wait > 250*time.Millisecond {
-				wait = 250 * time.Millisecond
-			}
-			time.Sleep(wait)
-			continue
+			return retry.After(errBackpressure, wait)
 		}
 		if resp.StatusCode != http.StatusOK {
 			var e struct {
@@ -203,7 +213,7 @@ func (lc *loadClient) post(path string, body, out any) error {
 			}
 			json.NewDecoder(resp.Body).Decode(&e)
 			resp.Body.Close()
-			return fmt.Errorf("POST %s: %s (%s)", path, resp.Status, e.Error)
+			return retry.Permanent(fmt.Errorf("POST %s: %s (%s)", path, resp.Status, e.Error))
 		}
 		if out == nil {
 			resp.Body.Close()
@@ -211,8 +221,8 @@ func (lc *loadClient) post(path string, body, out any) error {
 		}
 		err = json.NewDecoder(resp.Body).Decode(out)
 		resp.Body.Close()
-		return err
-	}
+		return retry.Permanent(err)
+	})
 }
 
 func (lc *loadClient) get(path string, out any) error {

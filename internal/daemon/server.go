@@ -98,6 +98,7 @@ type Daemon struct {
 	reqMu    sync.RWMutex
 	draining atomic.Bool
 	degraded atomic.Bool
+	ready    atomic.Bool
 	closed   bool
 
 	panics    atomic.Uint64
@@ -141,8 +142,16 @@ func NewDaemonWith(g *Grid, cfg ServerConfig) (*Daemon, error) {
 		d.walFile = f
 		d.wal = eventlog.NewWriterAt(f, g.Applied())
 	}
+	// A constructed daemon sits past snapshot restore and WAL replay, so
+	// it is ready by default; serve loops that expose the listener before
+	// recovery (cmd/gridd) flip readiness themselves via SetReady.
+	d.ready.Store(true)
 	return d, nil
 }
+
+// SetReady flips the /readyz signal. Liveness (/healthz) is unaffected:
+// a recovering daemon is alive but not ready.
+func (d *Daemon) SetReady(ready bool) { d.ready.Store(ready) }
 
 // Start launches the background ticker goroutine: the admission window
 // (when configured) and the FsyncInterval sync loop share one goroutine
@@ -344,7 +353,72 @@ func (d *Daemon) Handler() http.Handler {
 	// ServeHTTP caller — this ordering catches both direct and
 	// re-raised panics.
 	h = d.recoverPanics(h)
-	return d.gate(h)
+	gated := d.gate(h)
+	// Health probes live OUTSIDE the gate: an orchestrator must be able
+	// to distinguish "alive but draining/degraded/recovering" (healthz
+	// 200, readyz 503) from "dead" (no answer) — gating them would
+	// collapse the two.
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", d.handleHealthz)
+	outer.HandleFunc("GET /readyz", d.handleReadyz)
+	outer.Handle("/", gated)
+	return outer
+}
+
+// handleHealthz is pure liveness: the process is serving HTTP.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(d.started).Seconds(),
+		"applied":  d.g.Applied(),
+		"degraded": d.degraded.Load(),
+		"draining": d.draining.Load(),
+	})
+}
+
+// handleReadyz reports whether the daemon should receive traffic: 503
+// with a machine-readable reason while draining, while the degraded
+// latch is set (state failed verification after a panic), or before
+// recovery (snapshot restore + WAL replay) has finished.
+func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	switch {
+	case d.draining.Load():
+		reason = "draining"
+	case d.degraded.Load():
+		reason = "degraded"
+	case !d.ready.Load():
+		reason = "recovering"
+	}
+	if reason != "" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": reason})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// RecoveringHandler answers health probes before the daemon exists: the
+// serve loop binds its listener first, serves this while the snapshot is
+// restored and the WAL replayed, then swaps in Daemon.Handler. Liveness
+// is green immediately (the process is up), readiness stays red, and any
+// real API call gets an honest 503 instead of a connection refusal.
+func RecoveringHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": "recovering"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "daemon is recovering (snapshot restore + WAL replay)")
+	})
+	return mux
 }
 
 // gate is the outermost middleware: it refuses new work while the

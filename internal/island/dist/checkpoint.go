@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"gridcma/internal/run"
+	"gridcma/internal/schedule"
+)
+
+// checkpoint is the coordinator's durable state after a round: because
+// workers are stateless, the populations plus the alive mask ARE the
+// whole run, so a single JSON file written with the temp+fsync+rename
+// idiom makes the coordinator itself crash-restartable — a new process
+// with the same Config and seed resumes at the checkpointed round and
+// (absent faults) finishes with the exact bytes the uninterrupted run
+// would have produced.
+type checkpoint struct {
+	Version int    `json:"version"`
+	Seed    uint64 `json:"seed"`
+	Islands int    `json:"islands"`
+	Workers int    `json:"workers"`
+
+	Round      int       `json:"round"`
+	TotalIters int       `json:"total_iters"`
+	TotalEvals int64     `json:"total_evals"`
+	Alive      []bool    `json:"alive"`
+	Pops       [][][]int `json:"pops"`
+
+	BestSched    []int   `json:"best_sched,omitempty"`
+	BestFitness  float64 `json:"best_fitness"`
+	BestMakespan float64 `json:"best_makespan"`
+	BestFlowtime float64 `json:"best_flowtime"`
+
+	Digests []string `json:"digests"`
+	Deaths  []Death  `json:"deaths,omitempty"`
+}
+
+const checkpointVersion = 1
+
+func (cp *checkpoint) pops() [][]schedule.Schedule {
+	out := make([][]schedule.Schedule, len(cp.Pops))
+	for i, pop := range cp.Pops {
+		if pop == nil {
+			continue
+		}
+		out[i] = make([]schedule.Schedule, len(pop))
+		for k, s := range pop {
+			out[i][k] = schedule.Schedule(s)
+		}
+	}
+	return out
+}
+
+func (cp *checkpoint) best() run.Result {
+	if cp.BestSched == nil {
+		return run.Result{}
+	}
+	return run.Result{
+		Best:     schedule.Schedule(cp.BestSched),
+		Fitness:  cp.BestFitness,
+		Makespan: cp.BestMakespan,
+		Flowtime: cp.BestFlowtime,
+	}
+}
+
+// loadCheckpoint reads the configured checkpoint file and returns it only
+// when it belongs to this exact run (seed, islands, workers). A missing,
+// unreadable or mismatched file is not an error — the run simply starts
+// fresh.
+func (c *Coordinator) loadCheckpoint(seed uint64) (*checkpoint, bool) {
+	if c.cfg.CheckpointPath == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.cfg.CheckpointPath)
+	if err != nil {
+		return nil, false
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		c.logf("dist: checkpoint unreadable, starting fresh: %v", err)
+		return nil, false
+	}
+	if cp.Version != checkpointVersion || cp.Seed != seed ||
+		cp.Islands != c.cfg.Islands || cp.Workers != c.cfg.Workers ||
+		len(cp.Alive) != c.cfg.Islands || len(cp.Pops) != c.cfg.Islands {
+		c.logf("dist: checkpoint belongs to a different run, starting fresh")
+		return nil, false
+	}
+	return &cp, true
+}
+
+// saveCheckpoint atomically replaces the checkpoint file with the state
+// after the just-finished round.
+func (c *Coordinator) saveCheckpoint(seed uint64, rep *Report, pops [][]schedule.Schedule, alive []bool, best run.Result, totalIters int, totalEvals int64) error {
+	cp := checkpoint{
+		Version:    checkpointVersion,
+		Seed:       seed,
+		Islands:    c.cfg.Islands,
+		Workers:    c.cfg.Workers,
+		Round:      rep.Rounds,
+		TotalIters: totalIters,
+		TotalEvals: totalEvals,
+		Alive:      alive,
+		Digests:    rep.Digests,
+		Deaths:     rep.Deaths,
+	}
+	cp.Pops = make([][][]int, len(pops))
+	for i, pop := range pops {
+		if pop == nil {
+			continue
+		}
+		cp.Pops[i] = make([][]int, len(pop))
+		for k, s := range pop {
+			cp.Pops[i][k] = []int(s)
+		}
+	}
+	if best.Best != nil {
+		cp.BestSched = []int(best.Best)
+		cp.BestFitness = best.Fitness
+		cp.BestMakespan = best.Makespan
+		cp.BestFlowtime = best.Flowtime
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.cfg.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".dist-checkpoint-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.cfg.CheckpointPath); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -18,7 +18,6 @@ package island
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -111,7 +110,11 @@ func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, 
 	}
 	start := time.Now()
 	n := s.cfg.Islands
-	pops := make([][]schedule.Schedule, n) // nil until first segment
+	// Live per-island meshes, kept across segments (cache-aware resume:
+	// cma adopts the States wholesale instead of rebuilding from
+	// schedules, so prefix sums, tournament trees and scan caches stay
+	// warm through migration). nil until the first segment builds them.
+	states := make([][]*schedule.State, n)
 	results := make([]run.Result, n)
 
 	var best run.Result
@@ -150,7 +153,74 @@ func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, 
 			go func(i int) {
 				defer wg.Done()
 				// Per-island, per-segment deterministic seed.
-				islandSeed := seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15 ^ uint64(totalIters)*0xbf58476d1ce4e5b9
+				islandSeed := SegmentSeed(seed, i, totalIters)
+				res, sts := s.inner.RunWithStatesPooled(in, segBudget, islandSeed, nil, states[i], pool)
+				results[i] = res
+				states[i] = sts
+			}(i)
+		}
+		wg.Wait()
+
+		for i := 0; i < n; i++ {
+			totalEvals += results[i].Evals
+			if results[i].Better(best) {
+				best = results[i]
+			}
+		}
+		totalIters += segIters
+		s.migrateStates(states)
+		emit()
+	}
+
+	best.Iterations = totalIters
+	best.Evals = totalEvals
+	best.Elapsed = time.Since(start)
+	best.Algorithm = s.Name()
+	return best
+}
+
+// runPooledWholesale is the historical schedule-resume loop: every
+// segment exports populations as plain schedules and the next rebuilds
+// each State from scratch. It is the reference the cache-aware RunPooled
+// is pinned bit-identical against (TestStatesPathMatchesWholesale) and
+// the baseline of the migration benchmark; the distributed workers run
+// the equivalent of this path one segment at a time.
+func (s *Scheduler) runPooledWholesale(in *etc.Instance, budget run.Budget, seed uint64, obs run.Observer, pool *evalpool.Pool) run.Result {
+	if !budget.Bounded() {
+		panic("island: unbounded budget")
+	}
+	if pool == nil || pool.Instance() != in {
+		pool = evalpool.New(in)
+	}
+	start := time.Now()
+	n := s.cfg.Islands
+	pops := make([][]schedule.Schedule, n) // nil until first segment
+	results := make([]run.Result, n)
+
+	var best run.Result
+	totalIters := 0
+	var totalEvals int64
+
+	for !budget.Done(totalIters, start) {
+		segIters := s.cfg.MigrationEvery
+		if budget.MaxIterations > 0 && totalIters+segIters > budget.MaxIterations {
+			segIters = budget.MaxIterations - totalIters
+		}
+		segBudget := run.Budget{MaxIterations: segIters}.WithContext(budget.Context())
+		if budget.MaxTime > 0 {
+			remaining := budget.MaxTime - time.Since(start)
+			if remaining <= 0 {
+				break
+			}
+			segBudget.MaxTime = remaining
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				islandSeed := SegmentSeed(seed, i, totalIters)
 				res, pop := s.inner.RunWithPopulationPooled(in, segBudget, islandSeed, nil, pops[i], pool)
 				results[i] = res
 				pops[i] = pop
@@ -166,7 +236,6 @@ func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, 
 		}
 		totalIters += segIters
 		s.migrate(in, pops)
-		emit()
 	}
 
 	best.Iterations = totalIters
@@ -177,43 +246,58 @@ func (s *Scheduler) RunPooled(in *etc.Instance, budget run.Budget, seed uint64, 
 }
 
 // migrate copies each island's Migrants best individuals to its ring
-// successor, replacing the successor's worst individuals.
+// successor, replacing the successor's worst individuals. This is the
+// wholesale-schedule form of the exchange, shared with the distributed
+// coordinator via PlanMigration/ApplyMigration.
 func (s *Scheduler) migrate(in *etc.Instance, pops [][]schedule.Schedule) {
-	n := len(pops)
 	o := s.cfg.Base.Objective
-	// Rank each island's population once.
-	type ranked struct {
-		order []int // indices best-first
-		fits  []float64
-	}
-	ranks := make([]ranked, n)
+	fits := make([][]float64, len(pops))
 	for i, pop := range pops {
-		fits := make([]float64, len(pop))
-		order := make([]int, len(pop))
+		f := make([]float64, len(pop))
 		for k, sched := range pop {
-			fits[k] = o.Evaluate(in, sched)
-			order[k] = k
+			f[k] = o.Evaluate(in, sched)
 		}
-		sort.Slice(order, func(a, b int) bool { return fits[order[a]] < fits[order[b]] })
-		ranks[i] = ranked{order: order, fits: fits}
+		fits[i] = f
 	}
-	m := s.cfg.Migrants
-	// Collect emigrants first so a migrant is not forwarded twice in one
-	// exchange.
-	emigrants := make([][]schedule.Schedule, n)
-	for i, pop := range pops {
-		out := make([]schedule.Schedule, 0, m)
-		for k := 0; k < m && k < len(pop); k++ {
-			out = append(out, pop[ranks[i].order[k]].Clone())
+	ApplyMigration(pops, PlanMigration(fits, s.cfg.Migrants, nil))
+}
+
+// migrateStates is the cache-aware exchange over live States: migrants
+// are applied through SetScheduleDiff, dirtying only the machines whose
+// job sets actually changed, so the destination island's next local
+// search warm-starts instead of re-scanning every machine.
+//
+// Fitness ranking must be bit-identical to migrate's fresh
+// Objective.Evaluate: per-machine completions already are (incremental
+// maintenance refreshes whole machines), but a State's flowtime
+// accumulator drifts in the low bits under subtract-then-add updates, so
+// each State is canonicalised with RefreshFlowtime — a per-machine
+// re-fold, no rebuild — before ranking.
+func (s *Scheduler) migrateStates(states [][]*schedule.State) {
+	o := s.cfg.Base.Objective
+	fits := make([][]float64, len(states))
+	for i, sts := range states {
+		f := make([]float64, len(sts))
+		for k, st := range sts {
+			st.RefreshFlowtime()
+			f[k] = o.Of(st)
 		}
-		emigrants[i] = out
+		fits[i] = f
 	}
-	for i := range pops {
-		dst := (i + 1) % n
-		order := ranks[dst].order
-		for k, mig := range emigrants[i] {
-			victim := order[len(order)-1-k] // worst, second-worst, ...
-			pops[dst][victim] = mig
-		}
+	moves := PlanMigration(fits, s.cfg.Migrants, nil)
+	// Clone every source schedule before any destination is written.
+	migs := make([]schedule.Schedule, len(moves))
+	for k, mv := range moves {
+		migs[k] = states[mv.Src][mv.SrcIdx].Schedule()
+	}
+	for k, mv := range moves {
+		st := states[mv.Dst][mv.DstIdx]
+		st.SetScheduleDiff(migs[k])
+		// Acknowledge the diff's commit events before handing the state
+		// onward: validity is carried by the machine epochs (the next
+		// segment's scans revalidate exactly the machines the migrant
+		// touched), and the audited drain discipline requires no state to
+		// leave a run with marks pending.
+		st.SyncScans()
 	}
 }

@@ -1,0 +1,247 @@
+package island
+
+import (
+	"testing"
+
+	"gridcma/internal/cma"
+	"gridcma/internal/etc"
+	"gridcma/internal/evalpool"
+	"gridcma/internal/rng"
+	"gridcma/internal/run"
+	"gridcma/internal/schedule"
+)
+
+// TestStatesPathMatchesWholesale is the cache-aware migration pin: the
+// live-State resume path (RunPooled: cma adopts warm States, migrants
+// applied via SetScheduleDiff) must be bit-identical to the historical
+// wholesale path (populations exported as schedules, every State rebuilt
+// per segment). Runs long enough for several exchanges, across seeds and
+// island counts.
+func TestStatesPathMatchesWholesale(t *testing.T) {
+	in := testInstance()
+	for _, tc := range []struct {
+		islands, every, migrants, iters int
+		seed                            uint64
+	}{
+		{2, 2, 1, 8, 1},
+		{4, 3, 2, 12, 7},
+		{5, 2, 3, 10, 42},
+	} {
+		cfg := DefaultConfig()
+		cfg.Islands = tc.islands
+		cfg.MigrationEvery = tc.every
+		cfg.Migrants = tc.migrants
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := run.Budget{MaxIterations: tc.iters}
+		got := s.RunPooled(in, budget, tc.seed, nil, nil)
+		want := s.runPooledWholesale(in, budget, tc.seed, nil, nil)
+		if !got.Best.Equal(want.Best) {
+			t.Errorf("%+v: best schedules differ between states and wholesale paths", tc)
+		}
+		if got.Fitness != want.Fitness || got.Makespan != want.Makespan || got.Flowtime != want.Flowtime {
+			t.Errorf("%+v: metrics differ: states (%v %v %v) wholesale (%v %v %v)",
+				tc, got.Fitness, got.Makespan, got.Flowtime, want.Fitness, want.Makespan, want.Flowtime)
+		}
+		if got.Evals != want.Evals || got.Iterations != want.Iterations {
+			t.Errorf("%+v: evals/iters differ: %d/%d vs %d/%d",
+				tc, got.Evals, got.Iterations, want.Evals, want.Iterations)
+		}
+	}
+}
+
+// TestPlanMigrationMatchesLegacyRing checks the planner against the
+// historical exchange rule directly: with all islands alive, island i's m
+// best land on island i+1's m worst, ranked before any replacement.
+func TestPlanMigrationMatchesLegacyRing(t *testing.T) {
+	fits := [][]float64{
+		{3, 1, 2, 4}, // ranked: 1,2,0,3
+		{9, 7, 8, 6}, // ranked: 3,1,2,0
+		{5, 5, 5, 5}, // all tied
+	}
+	moves := PlanMigration(fits, 2, nil)
+	want := []Move{
+		{Src: 0, SrcIdx: 1, Dst: 1, DstIdx: 0},
+		{Src: 0, SrcIdx: 2, Dst: 1, DstIdx: 2},
+		{Src: 1, SrcIdx: 3, Dst: 2, DstIdx: 3},
+		{Src: 1, SrcIdx: 1, Dst: 2, DstIdx: 2},
+		{Src: 2, SrcIdx: 0, Dst: 0, DstIdx: 3},
+		{Src: 2, SrcIdx: 1, Dst: 0, DstIdx: 0},
+	}
+	if len(moves) != len(want) {
+		t.Fatalf("got %d moves %v, want %d", len(moves), moves, len(want))
+	}
+	for i := range want {
+		if moves[i] != want[i] {
+			t.Errorf("move %d = %+v, want %+v", i, moves[i], want[i])
+		}
+	}
+}
+
+// TestPlanMigrationHealsRing: dead islands are spliced out — their
+// neighbours exchange directly — and a sole survivor exchanges with
+// nobody.
+func TestPlanMigrationHealsRing(t *testing.T) {
+	fits := [][]float64{
+		{1, 2},
+		nil, // dead (no population reported)
+		{4, 3},
+		{6, 5},
+	}
+	alive := []bool{true, false, true, true}
+	moves := PlanMigration(fits, 1, alive)
+	want := []Move{
+		{Src: 0, SrcIdx: 0, Dst: 2, DstIdx: 0}, // 0 skips dead 1, lands on 2
+		{Src: 2, SrcIdx: 1, Dst: 3, DstIdx: 0},
+		{Src: 3, SrcIdx: 1, Dst: 0, DstIdx: 1},
+	}
+	if len(moves) != len(want) {
+		t.Fatalf("got %v, want %v", moves, want)
+	}
+	for i := range want {
+		if moves[i] != want[i] {
+			t.Errorf("move %d = %+v, want %+v", i, moves[i], want[i])
+		}
+	}
+
+	solo := PlanMigration([][]float64{{1, 2}, nil, nil}, 1, []bool{true, false, false})
+	if len(solo) != 0 {
+		t.Fatalf("sole survivor produced moves %v", solo)
+	}
+	none := PlanMigration([][]float64{nil, nil}, 1, []bool{false, false})
+	if len(none) != 0 {
+		t.Fatalf("empty ring produced moves %v", none)
+	}
+}
+
+// TestSegmentSeedMatchesHistoricalDerivation pins the wire-visible seed
+// rule to the constants the in-process scheduler has always used.
+func TestSegmentSeedMatchesHistoricalDerivation(t *testing.T) {
+	seed := uint64(12345)
+	for _, c := range []struct{ island, iters int }{{0, 0}, {3, 10}, {7, 95}} {
+		want := seed ^ (uint64(c.island)+1)*0x9e3779b97f4a7c15 ^ uint64(c.iters)*0xbf58476d1ce4e5b9
+		if got := SegmentSeed(seed, c.island, c.iters); got != want {
+			t.Errorf("SegmentSeed(%d,%d,%d) = %x, want %x", seed, c.island, c.iters, got, want)
+		}
+	}
+}
+
+// TestSegmentIsIdempotent: the distributed worker's unit of work must
+// yield identical results when re-executed (duplicated delivery, retry
+// after a lost reply, warm restart re-send).
+func TestSegmentIsIdempotent(t *testing.T) {
+	in := testInstance()
+	cfg := cma.DefaultConfig()
+	pool := evalpool.New(in)
+	seed := SegmentSeed(99, 1, 5)
+	res1, pop1, err := Segment(in, cfg, 3, seed, nil, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, pop2, err := Segment(in, cfg, 3, seed, nil, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Best.Equal(res2.Best) || res1.Fitness != res2.Fitness || res1.Evals != res2.Evals {
+		t.Fatal("re-executed segment differs from the original")
+	}
+	for i := range pop1 {
+		if !pop1[i].Equal(pop2[i]) {
+			t.Fatalf("population individual %d differs on re-execution", i)
+		}
+	}
+	// And resuming from that population is idempotent too.
+	res3, _, err := Segment(in, cfg, 3, SegmentSeed(99, 1, 8), pop1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res4, _, err := Segment(in, cfg, 3, SegmentSeed(99, 1, 8), pop2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Best.Equal(res4.Best) || res3.Fitness != res4.Fitness {
+		t.Fatal("resumed segment differs between identical populations")
+	}
+}
+
+// --- Benchmarks: the before/after of cache-aware migration, and the
+// alloc-guarded migrant-apply hot path. ---
+
+func benchInstance(b *testing.B) *etc.Instance {
+	spec, err := etc.ParseGenSpec("256x16:c_hihi:s3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := spec.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Islands = 4
+	cfg.MigrationEvery = 2
+	cfg.Migrants = 2
+	return cfg
+}
+
+// BenchmarkIslandRunWholesale is the historical path: States rebuilt from
+// schedules at every segment boundary, scan caches cold after migration.
+func BenchmarkIslandRunWholesale(b *testing.B) {
+	in := benchInstance(b)
+	s, err := New(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := evalpool.New(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.runPooledWholesale(in, run.Budget{MaxIterations: 8}, 11, nil, pool)
+	}
+}
+
+// BenchmarkIslandRunDiff is the cache-aware path: live States adopted
+// across segments, migrants applied through SetScheduleDiff.
+func BenchmarkIslandRunDiff(b *testing.B) {
+	in := benchInstance(b)
+	s, err := New(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := evalpool.New(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunPooled(in, run.Budget{MaxIterations: 8}, 11, nil, pool)
+	}
+}
+
+// BenchmarkMigrantApply is the alloc-guarded migrant-application hot
+// path: diffing an incoming migrant into a live State and acknowledging
+// the commit events. Must stay allocation-free — CI runs it under the
+// same guard as the probe/sweep kernels.
+func BenchmarkMigrantApply(b *testing.B) {
+	in := benchInstance(b)
+	r := rng.New(5)
+	orig := schedule.NewRandom(in, r)
+	mig := orig.Clone()
+	schedule.Perturb(mig, in, r, 0.1)
+	st := schedule.NewState(in, orig)
+	// Warm the one-off diff buffers so the steady-state loop is measured.
+	st.SetScheduleDiff(mig)
+	st.SetScheduleDiff(orig)
+	st.SyncScans()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			st.SetScheduleDiff(mig)
+		} else {
+			st.SetScheduleDiff(orig)
+		}
+		st.SyncScans()
+	}
+}

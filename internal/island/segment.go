@@ -1,0 +1,122 @@
+// Segment and migration primitives, factored out of the in-process
+// Scheduler so the distributed engine (internal/island/dist) can run the
+// exact same computation across process boundaries. A segment is a pure
+// function of (instance, base config, iteration count, seed, population):
+// re-running it — on a restarted worker, after a duplicated delivery, on
+// a different host — always yields the same result, which is what makes
+// retries and warm restarts free of coordination.
+package island
+
+import (
+	"sort"
+
+	"gridcma/internal/cma"
+	"gridcma/internal/etc"
+	"gridcma/internal/evalpool"
+	"gridcma/internal/run"
+	"gridcma/internal/schedule"
+)
+
+// SegmentSeed derives island i's RNG seed for the segment starting at
+// iteration totalIters. It is the one seed-derivation rule shared by the
+// in-process scheduler and every distributed worker: same (seed, island,
+// offset) → same stream, wherever the segment runs.
+func SegmentSeed(seed uint64, island, totalIters int) uint64 {
+	return seed ^ (uint64(island)+1)*0x9e3779b97f4a7c15 ^ uint64(totalIters)*0xbf58476d1ce4e5b9
+}
+
+// Segment runs one migration segment: segIters iterations of the base
+// cMA seeded from pop (nil for the first segment's fresh mesh), returning
+// the segment result and the evolved population. This is the unit of work
+// a distributed worker executes per RPC; it is stateless and
+// deterministic, so executing it twice is exactly as good as once.
+func Segment(in *etc.Instance, base cma.Config, segIters int, islandSeed uint64, pop []schedule.Schedule, pool *evalpool.Pool) (run.Result, []schedule.Schedule, error) {
+	inner, err := cma.New(base)
+	if err != nil {
+		return run.Result{}, nil, err
+	}
+	res, out := inner.RunWithPopulationPooled(in, run.Budget{MaxIterations: segIters}, islandSeed, nil, pop, pool)
+	return res, out, nil
+}
+
+// Move is one migrant placement: the individual at SrcIdx in island Src
+// replaces the individual at DstIdx in island Dst. Sources are read
+// before any destination is written (migrants are never forwarded twice
+// in one exchange), so a Move list is applied by cloning all sources
+// first.
+type Move struct {
+	Src, SrcIdx int
+	Dst, DstIdx int
+}
+
+// rankByFitness returns population indices best-first. The comparator and
+// sort call are shared by every migration path so that equal-fitness ties
+// break identically everywhere.
+func rankByFitness(fits []float64) []int {
+	order := make([]int, len(fits))
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool { return fits[order[a]] < fits[order[b]] })
+	return order
+}
+
+// PlanMigration computes the ring exchange over the alive islands: each
+// alive island sends its m best individuals to the next alive island on
+// the ring, replacing that island's worst (both ranked before any
+// replacement). fits[i] holds island i's per-individual fitness values;
+// alive[i]==false (or a nil fits[i]) heals the ring around a dead island
+// — its population neither sends nor receives, and its neighbours splice
+// together. A nil alive slice means all islands are alive, which
+// reproduces the historical in-process exchange exactly. A sole survivor
+// exchanges with nobody.
+func PlanMigration(fits [][]float64, m int, alive []bool) []Move {
+	n := len(fits)
+	isAlive := func(i int) bool {
+		return (alive == nil || alive[i]) && fits[i] != nil
+	}
+	orders := make([][]int, n)
+	for i := range fits {
+		if isAlive(i) {
+			orders[i] = rankByFitness(fits[i])
+		}
+	}
+	var moves []Move
+	for i := 0; i < n; i++ {
+		if !isAlive(i) {
+			continue
+		}
+		dst := -1
+		for step := 1; step < n; step++ {
+			c := (i + step) % n
+			if isAlive(c) {
+				dst = c
+				break
+			}
+		}
+		if dst < 0 || dst == i {
+			continue
+		}
+		order := orders[dst]
+		for k := 0; k < m && k < len(orders[i]) && k < len(order); k++ {
+			moves = append(moves, Move{
+				Src: i, SrcIdx: orders[i][k],
+				Dst: dst, DstIdx: order[len(order)-1-k],
+			})
+		}
+	}
+	return moves
+}
+
+// ApplyMigration executes a Move list over schedule populations: sources
+// are cloned first, then written over their victims. Shared by the
+// wholesale in-process path and the distributed coordinator.
+func ApplyMigration(pops [][]schedule.Schedule, moves []Move) {
+	migs := make([]schedule.Schedule, len(moves))
+	for k, mv := range moves {
+		migs[k] = pops[mv.Src][mv.SrcIdx].Clone()
+	}
+	for k, mv := range moves {
+		pops[mv.Dst][mv.DstIdx] = migs[k]
+	}
+}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"gridcma/internal/schedule"
+)
+
+// AppendPops appends the canonical JSON encoding of a population — an
+// array of schedules, each an array of machine assignments — to dst and
+// returns the extended slice. This is the dominant payload of every
+// segment call (populations dwarf the header by orders of magnitude), so
+// it is hand-rolled append-style like the WAL's record encoder: zero
+// allocations once dst has capacity, pinned by BenchmarkMigrantEncode
+// under the CI allocation guard.
+func AppendPops(dst []byte, pops []schedule.Schedule) []byte {
+	dst = append(dst, '[')
+	for i, p := range pops {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, '[')
+		for k, m := range p {
+			if k > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(m), 10)
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, ']')
+}
+
+// ParsePops decodes an AppendPops payload line.
+func ParsePops(line []byte) ([]schedule.Schedule, error) {
+	var raw [][]int
+	if err := json.Unmarshal(line, &raw); err != nil {
+		return nil, fmt.Errorf("transport: population payload: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make([]schedule.Schedule, len(raw))
+	for i, r := range raw {
+		out[i] = schedule.Schedule(r)
+	}
+	return out, nil
+}

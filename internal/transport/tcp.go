@@ -1,0 +1,232 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conn is the TCP JSONL transport: one connection, one in-flight call at
+// a time (the coordinator serialises per worker), each message framed as
+// a JSON header line plus an AppendPops payload line. Any I/O error —
+// including a deadline from the caller's context — poisons the stream
+// mid-frame, so the connection closes and the supervisor redials; that
+// maps a lost worker onto exactly the same Client behaviour as a killed
+// Local.
+type Conn struct {
+	mu      sync.Mutex
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	scratch []byte
+	closed  atomic.Bool
+}
+
+// Dial connects to an islandd worker.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// NewConn wraps an established connection (test harnesses use net.Pipe).
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// Call sends req and reads the matching response. The context deadline is
+// applied to the whole exchange via the socket deadline.
+func (c *Conn) Call(ctx context.Context, req *Request) (*Response, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if d, ok := ctx.Deadline(); ok {
+		c.c.SetDeadline(d)
+	} else {
+		c.c.SetDeadline(time.Time{})
+	}
+	if err := c.writeRequest(req); err != nil {
+		c.poison()
+		return nil, err
+	}
+	resp, err := c.readResponse()
+	if err != nil {
+		c.poison()
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		c.poison()
+		return nil, fmt.Errorf("transport: response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// poison closes the underlying socket after a mid-stream failure.
+func (c *Conn) poison() {
+	c.closed.Store(true)
+	c.c.Close()
+}
+
+// Close implements Client.
+func (c *Conn) Close() error {
+	c.closed.Store(true)
+	return c.c.Close()
+}
+
+func (c *Conn) writeRequest(req *Request) error {
+	hdr, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(hdr); err != nil {
+		return err
+	}
+	if err := c.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	var payload []byte
+	if req.Seg != nil {
+		payload = AppendPops(c.scratch[:0], req.Seg.Pop)
+	} else {
+		payload = AppendPops(c.scratch[:0], nil)
+	}
+	c.scratch = payload
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	if err := c.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Conn) readResponse() (*Response, error) {
+	hdr, err := readLine(c.br)
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(hdr, &resp); err != nil {
+		return nil, fmt.Errorf("transport: response header: %w", err)
+	}
+	payload, err := readLine(c.br)
+	if err != nil {
+		return nil, err
+	}
+	pops, err := ParsePops(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Seg != nil {
+		resp.Seg.Pop = pops
+	}
+	return &resp, nil
+}
+
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		if errors.Is(err, io.EOF) && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return line[:len(line)-1], nil
+}
+
+// Serve accepts connections until the listener closes, serving each on
+// its own goroutine. It returns the accept error (net.ErrClosed on a
+// clean shutdown).
+func Serve(ln net.Listener, h Handler) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go ServeConn(conn, h)
+	}
+}
+
+// ServeConn answers requests on one connection until EOF or error. The
+// worker side of the TCP transport; cmd/islandd and the tests share it.
+func ServeConn(conn net.Conn, h Handler) error {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var scratch []byte
+	for {
+		hdr, err := readLine(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		var req Request
+		if err := json.Unmarshal(hdr, &req); err != nil {
+			return fmt.Errorf("transport: request header: %w", err)
+		}
+		payload, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		pops, err := ParsePops(payload)
+		if err != nil {
+			return err
+		}
+		if req.Seg != nil {
+			req.Seg.Pop = pops
+		}
+		resp, herr := h.Handle(context.Background(), &req)
+		if herr != nil {
+			resp = &Response{ID: req.ID, Err: herr.Error()}
+		}
+		if resp.ID == 0 {
+			resp.ID = req.ID
+		}
+		hdrOut, err := json.Marshal(resp)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(hdrOut); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		if resp.Seg != nil {
+			scratch = AppendPops(scratch[:0], resp.Seg.Pop)
+		} else {
+			scratch = AppendPops(scratch[:0], nil)
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}

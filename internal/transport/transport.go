@@ -1,0 +1,152 @@
+// Package transport is the pluggable RPC layer of the distributed island
+// engine (internal/island/dist): a coordinator calls workers through the
+// Client interface, workers serve through Handler, and the two concrete
+// transports — the in-process Local client for tests and single-machine
+// determinism work, and the TCP JSONL connection for real multi-process
+// runs (cmd/islandd) — carry the exact same protocol, so a run's result
+// can never depend on which one it rode over.
+//
+// The protocol is deliberately tiny: a ping (liveness) and a segment
+// call. A segment request is a pure function description — instance
+// spec, base cMA configuration, seed, iteration count, population — and
+// workers are stateless between calls, which is what makes the
+// robustness story cheap: retrying a call, delivering it twice, or
+// replaying it against a freshly restarted worker all produce the same
+// bytes.
+//
+// Wire format (TCP): each message is two newline-terminated parts — a
+// JSON header (everything but the population) and a population payload
+// line encoded by AppendPops, the allocation-free encoder shared with
+// the benchmarks' migration hot path. Responses mirror the shape.
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"gridcma/internal/config"
+	"gridcma/internal/schedule"
+)
+
+// Call kinds.
+const (
+	KindPing    = "ping"
+	KindSegment = "segment"
+)
+
+// Errors shared by the transports.
+var (
+	// ErrClosed: the client was closed (or its worker killed) and cannot
+	// carry calls; the supervisor must restart/redial.
+	ErrClosed = errors.New("transport: client closed")
+)
+
+// SegmentRequest describes one island segment as a pure function: run
+// Iters iterations of the Config cMA on the Instance, seeded with Seed,
+// starting from Pop (nil = fresh mesh). Island and Round are carried for
+// observability and deterministic fault keying; they do not influence
+// the computation (Seed already encodes both via island.SegmentSeed).
+type SegmentRequest struct {
+	Instance string      `json:"instance"`
+	Config   config.Spec `json:"config"`
+	Island   int         `json:"island"`
+	Round    int         `json:"round"`
+	Iters    int         `json:"iters"`
+	Seed     uint64      `json:"seed"`
+
+	// Pop rides the frame's payload line (AppendPops), not the header.
+	Pop []schedule.Schedule `json:"-"`
+}
+
+// SegmentResponse carries a segment's result and evolved population.
+type SegmentResponse struct {
+	Fitness  float64 `json:"fitness"`
+	Makespan float64 `json:"makespan"`
+	Flowtime float64 `json:"flowtime"`
+	Evals    int64   `json:"evals"`
+
+	Best schedule.Schedule `json:"best"`
+
+	// Pop rides the payload line.
+	Pop []schedule.Schedule `json:"-"`
+}
+
+// Request is one call from coordinator to worker.
+type Request struct {
+	ID   uint64          `json:"id"`
+	Kind string          `json:"kind"`
+	Seg  *SegmentRequest `json:"seg,omitempty"`
+}
+
+// Response answers a Request. A non-empty Err is an application-level
+// failure (bad instance spec, invalid config): the call reached the
+// worker and deterministically cannot succeed, so callers must not
+// retry it.
+type Response struct {
+	ID  uint64           `json:"id"`
+	Err string           `json:"err,omitempty"`
+	Seg *SegmentResponse `json:"seg,omitempty"`
+}
+
+// Client is the coordinator's side of a worker connection. Calls on one
+// Client are serialised by the caller (the coordinator holds a per-worker
+// lock); Close may race with Call.
+type Client interface {
+	Call(ctx context.Context, req *Request) (*Response, error)
+	Close() error
+}
+
+// Handler is the worker's side: pure request → response. Implementations
+// must be safe for concurrent calls.
+type Handler interface {
+	Handle(ctx context.Context, req *Request) (*Response, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ctx context.Context, req *Request) (*Response, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(ctx context.Context, req *Request) (*Response, error) {
+	return f(ctx, req)
+}
+
+// Local is the in-process transport: calls invoke the handler directly
+// on the caller's goroutine. It models a worker process closely enough
+// for supervision tests — Kill makes every subsequent call fail with
+// ErrClosed until the supervisor "restarts" the worker by building a new
+// Local — while keeping failure-free runs free of real I/O, so the
+// determinism contract can be tested at full speed.
+type Local struct {
+	h      Handler
+	closed atomic.Bool
+}
+
+// NewLocal returns an open in-process client over h.
+func NewLocal(h Handler) *Local { return &Local{h: h} }
+
+// Call invokes the handler unless the client is closed or ctx is done.
+func (l *Local) Call(ctx context.Context, req *Request) (*Response, error) {
+	if l.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := l.h.Handle(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if l.closed.Load() {
+		// Killed mid-call: the reply is lost with the worker.
+		return nil, ErrClosed
+	}
+	return resp, nil
+}
+
+// Close marks the client dead (idempotent). For a Local client this is
+// also the kill switch chaos uses to simulate a worker crash.
+func (l *Local) Close() error {
+	l.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"gridcma/internal/schedule"
+)
+
+// echoHandler returns a canned segment response carrying the request's
+// population back, so round-trip tests can check byte fidelity end to end.
+func echoHandler() Handler {
+	return HandlerFunc(func(ctx context.Context, req *Request) (*Response, error) {
+		if req.Kind == KindPing {
+			return &Response{ID: req.ID}, nil
+		}
+		return &Response{
+			ID: req.ID,
+			Seg: &SegmentResponse{
+				Fitness:  3.25,
+				Makespan: 17,
+				Flowtime: 101.5,
+				Evals:    42,
+				Best:     schedule.Schedule{2, 0, 1},
+				Pop:      req.Seg.Pop,
+			},
+		}, nil
+	})
+}
+
+func testPops() []schedule.Schedule {
+	return []schedule.Schedule{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{1, 1, 1, 1},
+	}
+}
+
+func TestAppendParsePopsRoundTrip(t *testing.T) {
+	for _, pops := range [][]schedule.Schedule{nil, {}, testPops(), {{}}} {
+		line := AppendPops(nil, pops)
+		got, err := ParsePops(line)
+		if err != nil {
+			t.Fatalf("ParsePops(%q): %v", line, err)
+		}
+		want := pops
+		if len(want) == 0 {
+			want = nil
+		}
+		// Normalise empty inner schedules: JSON cannot distinguish nil
+		// from empty, and the engine never ships empty schedules.
+		if len(pops) == 1 && len(pops[0]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %v -> %q -> %v", pops, line, got)
+		}
+	}
+}
+
+func TestParsePopsRejectsGarbage(t *testing.T) {
+	if _, err := ParsePops([]byte("{not json")); err == nil {
+		t.Fatal("expected an error for malformed payload")
+	}
+}
+
+func TestLocalRoundTrip(t *testing.T) {
+	c := NewLocal(echoHandler())
+	resp, err := c.Call(context.Background(), &Request{ID: 7, Kind: KindSegment, Seg: &SegmentRequest{Pop: testPops()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 7 || resp.Seg == nil || !reflect.DeepEqual(resp.Seg.Pop, testPops()) {
+		t.Fatalf("bad response: %+v", resp)
+	}
+}
+
+func TestLocalClosedFailsFast(t *testing.T) {
+	c := NewLocal(echoHandler())
+	c.Close()
+	if _, err := c.Call(context.Background(), &Request{ID: 1, Kind: KindPing}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestLocalKilledMidCallLosesReply(t *testing.T) {
+	var c *Local
+	h := HandlerFunc(func(ctx context.Context, req *Request) (*Response, error) {
+		c.Close() // the worker dies while computing
+		return &Response{ID: req.ID}, nil
+	})
+	c = NewLocal(h)
+	if _, err := c.Call(context.Background(), &Request{ID: 1, Kind: KindPing}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed (reply must die with the worker)", err)
+	}
+}
+
+// startServer serves h on a loopback listener.
+func startServer(t *testing.T, h Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go Serve(ln, h)
+	return ln.Addr().String()
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	addr := startServer(t, echoHandler())
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for id := uint64(1); id <= 3; id++ {
+		resp, err := c.Call(context.Background(), &Request{ID: id, Kind: KindSegment, Seg: &SegmentRequest{Instance: "x", Seed: 9, Pop: testPops()}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != id {
+			t.Fatalf("response id %d for request %d", resp.ID, id)
+		}
+		if !reflect.DeepEqual(resp.Seg.Pop, testPops()) {
+			t.Fatalf("population mangled in transit: %v", resp.Seg.Pop)
+		}
+		if resp.Seg.Fitness != 3.25 || resp.Seg.Evals != 42 {
+			t.Fatalf("scalar fields mangled: %+v", resp.Seg)
+		}
+	}
+}
+
+func TestTCPHandlerErrorBecomesResponseErr(t *testing.T) {
+	addr := startServer(t, HandlerFunc(func(ctx context.Context, req *Request) (*Response, error) {
+		return nil, fmt.Errorf("boom %d", req.ID)
+	}))
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(context.Background(), &Request{ID: 5, Kind: KindPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "boom 5" {
+		t.Fatalf("handler error not carried: %+v", resp)
+	}
+}
+
+func TestTCPDeadlinePoisonsConnection(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	addr := startServer(t, HandlerFunc(func(ctx context.Context, req *Request) (*Response, error) {
+		<-block
+		return &Response{ID: req.ID}, nil
+	}))
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Call(ctx, &Request{ID: 1, Kind: KindPing}); err == nil {
+		t.Fatal("expected a deadline error")
+	}
+	// The stream died mid-frame: every later call must fail fast.
+	if _, err := c.Call(context.Background(), &Request{ID: 2, Kind: KindPing}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("poisoned connection still accepted a call: %v", err)
+	}
+}
+
+func TestTCPPartialFrameIsUnexpectedEOF(t *testing.T) {
+	cli, srv := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		// Drain the request (net.Pipe is unbuffered), answer with half a
+		// header, then die.
+		go io.Copy(io.Discard, srv)
+		srv.Write([]byte(`{"id":1`))
+		srv.Close()
+	}()
+	c := NewConn(cli)
+	defer c.Close()
+	go func() {
+		_, err := c.Call(context.Background(), &Request{ID: 1, Kind: KindPing})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error on a torn frame")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("torn frame hung the call")
+	}
+}
+
+// BenchmarkMigrantEncode guards the migration hot path's encoder:
+// appending a full population payload must not allocate once the buffer
+// has grown.
+func BenchmarkMigrantEncode(b *testing.B) {
+	pops := make([]schedule.Schedule, 16)
+	for i := range pops {
+		s := make(schedule.Schedule, 512)
+		for j := range s {
+			s[j] = (i * j) % 16
+		}
+		pops[i] = s
+	}
+	buf := AppendPops(nil, pops)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendPops(buf[:0], pops)
+	}
+	_ = buf
+}
