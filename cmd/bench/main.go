@@ -109,6 +109,8 @@ func main() {
 
 		islandDist = flag.Bool("islanddist", false, "measure the distributed island engine (round latency, recovery, degraded quality); writes BENCH_island_dist.json")
 
+		replication = flag.Bool("replication", false, "measure WAL-shipping replication (throughput under followers, lag percentiles, failover gap); writes BENCH_replication.json")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -157,6 +159,11 @@ func main() {
 
 	if *islandDist {
 		runIslandDist(*out, *seed, *quick)
+		return
+	}
+
+	if *replication {
+		runReplication(*out, *seed, *quick)
 		return
 	}
 

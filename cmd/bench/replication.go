@@ -1,0 +1,392 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gridcma/internal/daemon"
+	"gridcma/internal/eventlog"
+	"gridcma/internal/transport"
+)
+
+// ReplRow is one measured replication scenario.
+type ReplRow struct {
+	Scenario  string  `json:"scenario"`
+	Followers int     `json:"followers"`
+	Events    int     `json:"events"`
+	Seconds   float64 `json:"seconds"`
+	// ThroughputPS is primary-side applied events per second while the
+	// followers stream (the cost of replication is this column shrinking
+	// as the followers row grows).
+	ThroughputPS float64 `json:"throughput_ps"`
+	// Replication lag distribution: primary apply → follower apply, per
+	// event, worst follower (0-follower rows have none).
+	LagP50Ms float64 `json:"lag_p50_ms,omitempty"`
+	LagP99Ms float64 `json:"lag_p99_ms,omitempty"`
+	// CatchupMs is how long after the primary's last apply the slowest
+	// follower reached the same sequence number.
+	CatchupMs float64 `json:"catchup_ms,omitempty"`
+	// RecoveryMs, on the failover row, is the kill → promoted → first
+	// write acked wall-clock on the surviving follower.
+	RecoveryMs float64 `json:"recovery_ms,omitempty"`
+	// PromotedTerm and WALPrefix document the failover row's safety
+	// checks: the promoted node bumped the fencing term and its WAL was
+	// byte-identical to the dead primary's acked prefix.
+	PromotedTerm uint64 `json:"promoted_term,omitempty"`
+	WALPrefix    bool   `json:"wal_prefix_verified,omitempty"`
+}
+
+// ReplReport is the BENCH_replication.json schema.
+type ReplReport struct {
+	Name       string    `json:"name"`
+	CreatedAt  string    `json:"created_at"`
+	GoVersion  string    `json:"go"`
+	CPUs       int       `json:"cpus"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Quick      bool      `json:"quick"`
+	Rows       []ReplRow `json:"results"`
+}
+
+// replBench wires one primary (WAL + replication listener on loopback
+// TCP) and n streaming followers, all in-process but dialing through
+// the real transport.
+type replBench struct {
+	dir     string
+	primary *daemon.Daemon
+	srv     *transport.Server
+	ln      net.Listener
+	addr    string
+
+	followers []*daemon.Daemon
+	repls     []*daemon.Replicator
+
+	// applyNano[seq] is the primary's apply wall-clock, read by follower
+	// OnApply hooks to compute per-event lag.
+	applyNano []int64
+	lags      [][]float64 // per-follower lag samples, ms
+}
+
+func newReplBench(gcfg daemon.Config, followers, events int) (*replBench, error) {
+	dir, err := os.MkdirTemp("", "bench-repl-")
+	if err != nil {
+		return nil, err
+	}
+	b := &replBench{dir: dir, applyNano: make([]int64, events+1)}
+	ok := false
+	defer func() {
+		if !ok {
+			b.close()
+		}
+	}()
+
+	b.primary, err = daemon.NewDaemonWith(mustGrid(gcfg), daemon.ServerConfig{
+		Grid:    gcfg,
+		LogPath: filepath.Join(dir, "primary.log"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs, err := daemon.NewReplServer(b.primary, daemon.ReplConfig{})
+	if err != nil {
+		return nil, err
+	}
+	b.ln, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	b.addr = b.ln.Addr().String()
+	b.srv = transport.NewServer(rs)
+	go b.srv.Serve(b.ln)
+
+	b.lags = make([][]float64, followers)
+	for i := 0; i < followers; i++ {
+		f, err := daemon.NewDaemonWith(mustGrid(gcfg), daemon.ServerConfig{
+			Grid:    gcfg,
+			LogPath: filepath.Join(dir, fmt.Sprintf("follower-%d.log", i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.followers = append(b.followers, f)
+		idx := i
+		r, err := daemon.NewReplicator(f, daemon.ReplicatorConfig{
+			Primary: b.addr,
+			ID:      fmt.Sprintf("bench-%d", i),
+			Poll:    time.Millisecond,
+			OnApply: func(e eventlog.Event) {
+				if int(e.Seq) < len(b.applyNano) {
+					if t0 := atomic.LoadInt64(&b.applyNano[e.Seq]); t0 > 0 {
+						b.lags[idx] = append(b.lags[idx],
+							float64(time.Now().UnixNano()-t0)/1e6)
+					}
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.repls = append(b.repls, r)
+		go r.Run()
+	}
+	ok = true
+	return b, nil
+}
+
+func mustGrid(gcfg daemon.Config) *daemon.Grid {
+	g, err := daemon.NewGrid(gcfg)
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+// drive applies the script to the primary as fast as ApplyEvent acks,
+// stamping each sequence number's wall-clock for the lag hooks.
+func (b *replBench) drive(script []eventlog.Event) error {
+	for _, e := range script {
+		stamped, err := b.primary.ApplyEvent(e)
+		if err != nil {
+			return err
+		}
+		if int(stamped.Seq) < len(b.applyNano) {
+			atomic.StoreInt64(&b.applyNano[stamped.Seq], time.Now().UnixNano())
+		}
+	}
+	return nil
+}
+
+// awaitCatchup blocks until every follower has applied the primary's
+// full sequence, returning how long the slowest one took past the
+// primary's final ack.
+func (b *replBench) awaitCatchup(target uint64, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for _, f := range b.followers {
+		for f.AppliedSeq() < target {
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("follower stuck at %d/%d after %s", f.AppliedSeq(), target, timeout)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// stopRepls halts every follower pull loop; lag samples are safe to
+// read once it returns.
+func (b *replBench) stopRepls() {
+	for _, r := range b.repls {
+		r.Stop()
+	}
+}
+
+// shutdownSrv drains the replication listener (idempotent).
+func (b *replBench) shutdownSrv() {
+	if b.srv == nil {
+		if b.ln != nil {
+			b.ln.Close()
+		}
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	b.srv.Shutdown(ctx)
+	b.srv = nil
+}
+
+func (b *replBench) close() {
+	b.stopRepls()
+	b.shutdownSrv()
+	if b.primary != nil {
+		b.primary.Stop()
+	}
+	for _, f := range b.followers {
+		f.Stop()
+	}
+	if b.dir != "" {
+		os.RemoveAll(b.dir)
+	}
+}
+
+// runReplRow measures one follower count: drive the full script into
+// the primary, wait for every follower to catch up, fold lag samples
+// from the worst follower into the row.
+func runReplRow(gcfg daemon.Config, seed uint64, followers, events int) (ReplRow, error) {
+	b, err := newReplBench(gcfg, followers, events)
+	if err != nil {
+		return ReplRow{}, err
+	}
+	defer b.close()
+	script := daemon.Script(seed, gcfg.MachCap, events)
+
+	start := time.Now()
+	if err := b.drive(script); err != nil {
+		return ReplRow{}, err
+	}
+	driveSec := time.Since(start).Seconds()
+	catchup, err := b.awaitCatchup(b.primary.AppliedSeq(), 2*time.Minute)
+	if err != nil {
+		return ReplRow{}, err
+	}
+	b.stopRepls() // lag slices are only read after the pull loops halt
+
+	row := ReplRow{
+		Scenario:  fmt.Sprintf("followers-%d", followers),
+		Followers: followers,
+		Events:    len(script),
+		Seconds:   driveSec,
+		CatchupMs: catchup.Seconds() * 1e3,
+	}
+	if driveSec > 0 {
+		row.ThroughputPS = float64(len(script)) / driveSec
+	}
+	// Lag columns report the worst follower (by p99): the number an
+	// operator would page on.
+	for _, lags := range b.lags {
+		p50, p99 := percentile(lags, 0.50), percentile(lags, 0.99)
+		if p99 > row.LagP99Ms {
+			row.LagP50Ms, row.LagP99Ms = p50, p99
+		}
+	}
+	return row, nil
+}
+
+// runReplFailover measures the failover path: stream half the script,
+// kill the primary, promote the follower, and time kill → promoted →
+// first write acked. The promoted node then absorbs the rest of the
+// script, and the row records the WAL-prefix safety check.
+func runReplFailover(gcfg daemon.Config, seed uint64, events int) (ReplRow, error) {
+	b, err := newReplBench(gcfg, 1, events)
+	if err != nil {
+		return ReplRow{}, err
+	}
+	defer b.close()
+	script := daemon.Script(seed, gcfg.MachCap, events)
+	half := len(script) / 2
+
+	if err := b.drive(script[:half]); err != nil {
+		return ReplRow{}, err
+	}
+	acked := b.primary.AppliedSeq()
+	if _, err := b.awaitCatchup(acked, 2*time.Minute); err != nil {
+		return ReplRow{}, err
+	}
+	if err := b.primary.FlushWAL(); err != nil {
+		return ReplRow{}, err
+	}
+	pWAL, err := os.ReadFile(filepath.Join(b.dir, "primary.log"))
+	if err != nil {
+		return ReplRow{}, err
+	}
+
+	// Kill: the replication listener drops and the primary daemon stops —
+	// from the follower's side the primary is gone mid-stream.
+	kill := time.Now()
+	b.shutdownSrv()
+	b.primary.Stop()
+
+	follower, repl := b.followers[0], b.repls[0]
+	term, err := repl.Promote()
+	if err != nil {
+		return ReplRow{}, err
+	}
+	if _, err := follower.ApplyEvent(script[half]); err != nil {
+		return ReplRow{}, fmt.Errorf("first write on promoted node: %w", err)
+	}
+	recovery := time.Since(kill)
+
+	start := time.Now()
+	for _, e := range script[half+1:] {
+		if _, err := follower.ApplyEvent(e); err != nil {
+			return ReplRow{}, err
+		}
+	}
+	driveSec := time.Since(start).Seconds()
+	if err := follower.FlushWAL(); err != nil {
+		return ReplRow{}, err
+	}
+	fWAL, err := os.ReadFile(filepath.Join(b.dir, "follower-0.log"))
+	if err != nil {
+		return ReplRow{}, err
+	}
+
+	row := ReplRow{
+		Scenario:     "failover",
+		Followers:    1,
+		Events:       len(script),
+		Seconds:      driveSec,
+		RecoveryMs:   recovery.Seconds() * 1e3,
+		PromotedTerm: term,
+		WALPrefix:    len(fWAL) >= len(pWAL) && string(fWAL[:len(pWAL)]) == string(pWAL),
+	}
+	if driveSec > 0 {
+		row.ThroughputPS = float64(len(script)-half-1) / driveSec
+	}
+	if !row.WALPrefix {
+		return row, fmt.Errorf("failover: dead primary's WAL (%d bytes) is not a byte prefix of the promoted node's (%d bytes)",
+			len(pWAL), len(fWAL))
+	}
+	return row, nil
+}
+
+// runReplication measures WAL-shipping replication — primary throughput
+// under 0/1/2 streaming followers, replication lag percentiles, and the
+// kill→promote→serving failover gap — and writes BENCH_replication.json.
+func runReplication(out string, seed uint64, quick bool) {
+	events := 8000
+	if quick {
+		events = 1500
+	}
+	gcfg := daemon.DefaultConfig()
+	gcfg.Seed = seed
+
+	rep := ReplReport{
+		Name:       "gridcma-replication",
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+
+	for _, followers := range []int{0, 1, 2} {
+		row, err := runReplRow(gcfg, seed, followers, events)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-12s events=%d %8.0f ev/s  lag p50=%.2fms p99=%.2fms  catchup=%.1fms\n",
+			row.Scenario, row.Events, row.ThroughputPS, row.LagP50Ms, row.LagP99Ms, row.CatchupMs)
+	}
+
+	row, err := runReplFailover(gcfg, seed, events)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Rows = append(rep.Rows, row)
+	fmt.Printf("%-12s events=%d %8.0f ev/s  recovery=%.2fms  term=%d  wal-prefix=%v\n",
+		row.Scenario, row.Events, row.ThroughputPS, row.RecoveryMs, row.PromotedTerm, row.WALPrefix)
+
+	path := filepath.Join(out, "BENCH_replication.json")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

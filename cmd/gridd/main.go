@@ -11,6 +11,12 @@
 //	gridd -load -fsync-sweep                   # fsync policy ladder rows
 //	gridd -crashtest -kills 256                # WAL crash-recovery torture
 //	gridd -selfcheck                           # snapshot/restart/replay smoke
+//
+// Replication (see the "Replication & failover" section of the README):
+//
+//	gridd -log p.log -replicate-listen :8438   # primary: ship the WAL to followers
+//	gridd -log f.log -replica-of host:8438     # hot standby; POST /promote to take over
+//	gridd -failovertest -cases 8 -faults 12    # seeded kill-and-promote torture
 package main
 
 import (
@@ -27,9 +33,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gridcma/internal/daemon"
+	"gridcma/internal/transport"
 )
 
 func main() {
@@ -64,9 +72,18 @@ func main() {
 
 		crashtest = flag.Bool("crashtest", false, "run the WAL crash-recovery torture and exit")
 		kills     = flag.Int("kills", 256, "crashtest: fault points to torture")
-		ctEvents  = flag.Int("events", 400, "crashtest: reference script length")
+		ctEvents  = flag.Int("events", 400, "crashtest/failovertest: reference script length")
 
 		selfcheck = flag.Bool("selfcheck", false, "run the snapshot/restart/replay smoke check and exit")
+
+		replListen = flag.String("replicate-listen", "", "serve WAL-shipping replication to followers on this TCP address (requires -log)")
+		replicaOf  = flag.String("replica-of", "", "run as a hot standby pulling from this primary replication address")
+		replID     = flag.String("replica-id", "", "follower identity reported to the primary (default: the listen address)")
+		maxLag     = flag.Uint64("max-lag", 4096, "replica: /readyz flips to 503 replica-lag beyond this many events behind")
+
+		failovertest = flag.Bool("failovertest", false, "run the seeded replication failover torture and exit")
+		ftCases      = flag.Int("cases", 8, "failovertest: independent kill-and-promote scenarios")
+		ftFaults     = flag.Int("faults", 12, "failovertest: chaos fault budget per case")
 	)
 	flag.Parse()
 
@@ -93,6 +110,10 @@ func main() {
 		if err := runSelfcheck(scfg); err != nil {
 			fatal(err)
 		}
+	case *failovertest:
+		if err := runFailoverTest(gcfg, *seed, *ftCases, *ctEvents, *ftFaults); err != nil {
+			fatal(err)
+		}
 	case *crashtest:
 		if err := runCrashTest(gcfg, *seed, *ctEvents, *kills); err != nil {
 			fatal(err)
@@ -116,7 +137,13 @@ func main() {
 			fatal(err)
 		}
 	default:
-		if err := serve(scfg, *addr, *snapPath); err != nil {
+		ropts := replOptions{
+			Listen:  *replListen,
+			Primary: *replicaOf,
+			ID:      *replID,
+			MaxLag:  *maxLag,
+		}
+		if err := serve(scfg, *addr, *snapPath, ropts); err != nil {
 			fatal(err)
 		}
 	}
@@ -147,7 +174,17 @@ func buildDaemon(cfg daemon.ServerConfig, snapPath string) (*daemon.Daemon, erro
 	return daemon.NewDaemonWith(g, cfg)
 }
 
-func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
+// replOptions is the serve-path replication wiring: at most one of
+// Listen (primary: ship the WAL) and Primary (follower: pull it) is
+// set.
+type replOptions struct {
+	Listen  string // replication listener address (primary side)
+	Primary string // primary's replication address (follower side)
+	ID      string // follower identity (cursor key on the primary)
+	MaxLag  uint64 // /readyz replica-lag threshold
+}
+
+func serve(cfg daemon.ServerConfig, addr, snapPath string, ropts replOptions) error {
 	// Bind the listener before recovery and serve a swappable handler:
 	// orchestrator probes get liveness (200 /healthz) the moment the
 	// process is up, honest unreadiness (503 /readyz "recovering") while
@@ -176,27 +213,87 @@ func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "gridd: listening on %s, recovering state\n", addr)
 
+	if ropts.Listen != "" && ropts.Primary != "" {
+		srv.Close()
+		return fmt.Errorf("-replicate-listen and -replica-of are mutually exclusive (a node is primary or follower, not both)")
+	}
+	if ropts.Listen != "" && cfg.LogPath == "" {
+		srv.Close()
+		return fmt.Errorf("-replicate-listen requires -log: replication ships the write-ahead log")
+	}
+
 	d, err := buildDaemon(cfg, snapPath)
 	if err != nil {
 		srv.Close()
 		return err
 	}
 	d.Start()
+
+	// Primary side: a draining transport server hands cached WAL cursors
+	// to followers; it shuts down alongside the HTTP listener.
+	var replSrv *transport.Server
+	if ropts.Listen != "" {
+		rs, rerr := daemon.NewReplServer(d, daemon.ReplConfig{})
+		if rerr != nil {
+			srv.Close()
+			d.Stop()
+			return rerr
+		}
+		rln, rerr := net.Listen("tcp", ropts.Listen)
+		if rerr != nil {
+			srv.Close()
+			d.Stop()
+			return rerr
+		}
+		replSrv = transport.NewServer(rs)
+		go replSrv.Serve(rln)
+		fmt.Fprintf(os.Stderr, "gridd: replicating WAL to followers on %s\n", rln.Addr())
+	}
+
+	// Follower side: the pull loop demotes the daemon (writes 503 with a
+	// pointer at the primary) until POST /promote flips it.
+	var repl *daemon.Replicator
+	if ropts.Primary != "" {
+		id := ropts.ID
+		if id == "" {
+			id = addr
+		}
+		repl, err = daemon.NewReplicator(d, daemon.ReplicatorConfig{
+			Primary: ropts.Primary,
+			ID:      id,
+			MaxLag:  ropts.MaxLag,
+		})
+		if err != nil {
+			srv.Close()
+			d.Stop()
+			return err
+		}
+		go repl.Run()
+		fmt.Fprintf(os.Stderr, "gridd: following %s as %q (term %d, applied %d)\n",
+			ropts.Primary, id, d.Term(), d.AppliedSeq())
+	}
+
 	handler.Store(d.Handler())
 	d.SetReady(true)
 
 	go func() {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Fprintln(os.Stderr, "gridd: draining")
 		shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
 		defer stop()
+		if replSrv != nil {
+			replSrv.Shutdown(shutdownCtx) // let in-flight pulls finish
+		}
 		srv.Shutdown(shutdownCtx) // stop accepting, wait for in-flight
 		cancel()                  // then cancel stragglers via base context
 	}()
 	fmt.Fprintf(os.Stderr, "gridd: serving on %s (fsync %s)\n", addr, cfg.Fsync)
 	err = <-serveErr
+	if repl != nil {
+		repl.Stop()
+	}
 	if stopErr := d.Stop(); stopErr != nil {
 		return stopErr
 	}
@@ -204,6 +301,35 @@ func serve(cfg daemon.ServerConfig, addr, snapPath string) error {
 		return nil
 	}
 	return err
+}
+
+// runFailoverTest runs the seeded replication failover torture and
+// prints its summary.
+func runFailoverTest(gcfg daemon.Config, seed uint64, cases, events, faults int) error {
+	res, err := daemon.FailoverTest(daemon.FailoverTestConfig{
+		Grid:   gcfg,
+		Seed:   seed,
+		Cases:  cases,
+		Events: events,
+		Faults: faults,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	b, jerr := json.MarshalIndent(res, "", "  ")
+	if jerr != nil {
+		return jerr
+	}
+	faultTotal := 0
+	for _, n := range res.Faults {
+		faultTotal += n
+	}
+	fmt.Printf("gridd failovertest: ok — %d promotions survived %d injected faults (%d snapshot boots, %d fenced, %d stale-term), promoted digests bit-identical to the dead primaries\n%s\n",
+		res.Promotions, faultTotal, res.SnapshotBoots, res.Fenced, res.StaleTerm, b)
+	return nil
 }
 
 // runCrashTest runs the durability torture and prints its summary.

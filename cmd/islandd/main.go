@@ -10,13 +10,23 @@
 // process manager, or by hand) with zero recovery protocol: the next
 // segment call re-sends everything. Instances materialised from specs
 // are cached per process, a pure warm-up optimisation.
+//
+// SIGINT/SIGTERM drain rather than kill: the listener closes, idle
+// connections drop, and in-flight segment calls get a grace period to
+// finish — a coordinator never sees a half-written response frame from
+// a politely stopped worker, only a closed connection it retries
+// elsewhere.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"gridcma/internal/island/dist"
 	"gridcma/internal/transport"
@@ -25,6 +35,7 @@ import (
 func main() {
 	var (
 		listen = flag.String("listen", ":7411", "TCP address to serve segment RPCs on")
+		drain  = flag.Duration("drain", 10*time.Second, "grace period for in-flight segment calls at shutdown")
 		quiet  = flag.Bool("q", false, "suppress startup output")
 	)
 	flag.Parse()
@@ -37,8 +48,32 @@ func main() {
 	if !*quiet {
 		fmt.Printf("islandd: serving segment RPCs on %s\n", ln.Addr())
 	}
-	if err := transport.Serve(ln, dist.NewWorker()); err != nil {
-		fmt.Fprintln(os.Stderr, "islandd:", err)
-		os.Exit(1)
+
+	srv := transport.NewServer(dist.NewWorker())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "islandd:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "islandd: %s, draining in-flight segment calls (up to %s)\n", s, *drain)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "islandd: drain deadline expired, connections force-closed")
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "islandd: drained cleanly")
+		}
 	}
 }

@@ -1,0 +1,58 @@
+package daemon
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFailoverTorture runs the seeded kill-and-promote torture at test
+// scale: every case must survive chaos on the replication stream, fence
+// the stale primary, and land the promoted node on the reference digest
+// trajectory.
+func TestFailoverTorture(t *testing.T) {
+	res, err := FailoverTest(FailoverTestConfig{
+		Seed:   1,
+		Cases:  4,
+		Events: 160,
+		Faults: 8,
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promotions != 4 {
+		t.Fatalf("promotions = %d, want 4", res.Promotions)
+	}
+	if res.Fenced != 4 || res.StaleTerm != 4 {
+		t.Fatalf("fenced = %d, stale-term = %d, want 4 each", res.Fenced, res.StaleTerm)
+	}
+	if res.SnapshotBoots == 0 {
+		t.Fatal("no case exercised snapshot bootstrap")
+	}
+	total := 0
+	for _, n := range res.Faults {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("chaos injected no faults")
+	}
+	if res.FinalDigest == "" {
+		t.Fatal("no final digest recorded")
+	}
+}
+
+// TestFailoverTortureDeterministic: the torture is a pure function of
+// its seed — same seed, same faults, same digests, same counters.
+func TestFailoverTortureDeterministic(t *testing.T) {
+	run := func() *FailoverTestResult {
+		res, err := FailoverTest(FailoverTestConfig{Seed: 7, Cases: 2, Events: 120, Faults: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different runs:\n%+v\n%+v", a, b)
+	}
+}

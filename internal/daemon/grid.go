@@ -69,6 +69,35 @@
 // triggers a structural self-check (CheckInvariants) that flips the
 // daemon read-only if state verification fails, and Stop drains
 // in-flight requests before the final WAL flush.
+//
+// # Replication and failover
+//
+// A second daemon can run as a hot standby: a Replicator demotes it to
+// follower (writes answer 503 pointing at the primary) and pulls the
+// primary's WAL through a ReplServer — snapshot bootstrap when the
+// follower's position has aged out of the log, then a resumable event
+// stream. ApplyReplicated applies shipped events verbatim (sequence,
+// timestamp and checksum preserved), so the follower's WAL is
+// byte-identical to the primary's acked prefix; every batch carries
+// the primary's state digest at the batch-end sequence, and a mismatch
+// against the follower's own digest is ErrDiverged — a permanent stop,
+// never a silent drift.
+//
+// Failover is Promote (or POST /promote): the follower persists a
+// bumped monotonic term beside its WAL before flipping to primary, and
+// any replication request carrying a higher term latches the old
+// primary fenced (read-only) should it return from a partition — the
+// term file is the ballot box, the fence is the concession. Lag is
+// observable end to end: /readyz answers "catching-up" until the first
+// caught-up pull and "replica-lag" beyond ReplicatorConfig.MaxLag, so
+// a balancer never routes reads to a stale standby.
+//
+// FailoverTest is the seeded torture for exactly this path: chaos on
+// the replication stream (drops, delays, duplicates, partitions,
+// connection kills), then a mid-stream primary kill and a promotion
+// per case, with the promoted node's digest trajectory required to be
+// bit-identical to the dead primary's acked prefix and the whole run a
+// pure function of its seed.
 package daemon
 
 import (

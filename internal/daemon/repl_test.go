@@ -1,0 +1,594 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridcma/internal/eventlog"
+	"gridcma/internal/retry"
+	"gridcma/internal/transport"
+)
+
+// replRig is a primary + follower pair wired through the in-process
+// transport: the unit-test bench for the replication protocol.
+type replRig struct {
+	primary  *Daemon
+	follower *Daemon
+	srv      *ReplServer
+	repl     *Replicator
+	pLog     string
+	fLog     string
+}
+
+func newReplRig(t *testing.T, rcfg ReplicatorConfig) *replRig {
+	t.Helper()
+	dir := t.TempDir()
+	gcfg := DefaultConfig()
+	gcfg.Seed = 42
+	rig := &replRig{
+		pLog: filepath.Join(dir, "primary.log"),
+		fLog: filepath.Join(dir, "follower.log"),
+	}
+	var err error
+	rig.primary, err = NewDaemon(ServerConfig{Grid: gcfg, LogPath: rig.pLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rig.primary.Stop() })
+	rig.srv, err = NewReplServer(rig.primary, ReplConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rig.srv.Close)
+	rig.follower, err = NewDaemon(ServerConfig{Grid: gcfg, LogPath: rig.fLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rig.follower.Stop() })
+	rig.follower.EnableReplication(0)
+	if rcfg.Dial == nil {
+		rcfg.Dial = func() (transport.Client, error) { return transport.NewLocal(rig.srv), nil }
+	}
+	rig.repl, err = NewReplicator(rig.follower, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rig.repl.Stop)
+	return rig
+}
+
+// drive applies scripted events to the rig's primary.
+func (rig *replRig) drive(t *testing.T, events []eventlog.Event) {
+	t.Helper()
+	for i, e := range events {
+		if _, err := rig.primary.ApplyEvent(e); err != nil {
+			t.Fatalf("primary apply %d: %v", i, err)
+		}
+	}
+}
+
+// script generates n events acceptable to the rig's (fresh) primary.
+func (rig *replRig) script(seed uint64, n int) []eventlog.Event {
+	return Script(seed, rig.primary.cfg.Grid.MachCap, n)
+}
+
+// catchUp steps the replicator until the follower reports zero lag.
+func (rig *replRig) catchUp(t *testing.T) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < 1000; i++ {
+		n, err := rig.repl.Step(ctx)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if n == 0 && rig.follower.ReplicaLag() == 0 {
+			return
+		}
+	}
+	t.Fatal("follower never caught up")
+}
+
+// TestReplicationCatchUp: a follower pulling a scripted WAL converges
+// to the primary's applied position, digest, and — byte for byte — its
+// WAL file.
+func TestReplicationCatchUp(t *testing.T) {
+	rig := newReplRig(t, ReplicatorConfig{ID: "f1", Batch: 7})
+	script := rig.script(1, 250)
+	rig.drive(t, script[:200])
+	rig.catchUp(t)
+
+	if pa, fa := rig.primary.AppliedSeq(), rig.follower.AppliedSeq(); pa != fa {
+		t.Fatalf("applied: primary %d, follower %d", pa, fa)
+	}
+	if pd, fd := rig.primary.GridDigest(), rig.follower.GridDigest(); pd != fd {
+		t.Fatalf("digest: primary %s, follower %s", pd, fd)
+	}
+	if err := rig.primary.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.follower.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := os.ReadFile(rig.pLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.ReadFile(rig.fLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, f) {
+		t.Fatalf("WALs differ: primary %d bytes, follower %d bytes", len(p), len(f))
+	}
+
+	// More primary traffic streams incrementally (no cursor re-scan).
+	rig.drive(t, script[200:])
+	rig.catchUp(t)
+	if pd, fd := rig.primary.GridDigest(), rig.follower.GridDigest(); pd != fd {
+		t.Fatalf("digest after second wave: primary %s, follower %s", pd, fd)
+	}
+}
+
+// TestReplicationSnapshotBootstrap: a primary whose WAL starts past a
+// snapshot cannot log-ship a blank follower; the follower must detect
+// the gap, bootstrap from the primary's snapshot (persisting it), and
+// then stream the tail.
+func TestReplicationSnapshotBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	gcfg := DefaultConfig()
+	gcfg.Seed = 7
+	script := Script(7, gcfg.MachCap, 120)
+
+	g, err := NewGrid(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		e := script[i]
+		e.Seq = uint64(i + 1)
+		if err := g.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pg, err := Restore(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := NewDaemonWith(pg, ServerConfig{Grid: gcfg, LogPath: filepath.Join(dir, "primary.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Stop()
+	srv, err := NewReplServer(primary, ReplConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	follower, err := NewDaemon(ServerConfig{Grid: gcfg, LogPath: filepath.Join(dir, "follower.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Stop()
+	repl, err := NewReplicator(follower, ReplicatorConfig{
+		ID:   "boot",
+		Dial: func() (transport.Client, error) { return transport.NewLocal(srv), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Stop()
+
+	// The first pull cannot be served from the truncated log (the
+	// primary's WAL starts at 61): the follower must bootstrap to 60.
+	ctx := context.Background()
+	if _, err := repl.Step(ctx); err != nil {
+		t.Fatalf("bootstrap step: %v", err)
+	}
+	if got := follower.AppliedSeq(); got != 60 {
+		t.Fatalf("follower applied %d after bootstrap, want 60", got)
+	}
+
+	// Then the tail streams as ordinary WAL shipping.
+	for i := 60; i < 120; i++ {
+		if _, err := primary.ApplyEvent(script[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100 && follower.AppliedSeq() < primary.AppliedSeq(); i++ {
+		if _, err := repl.Step(ctx); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if fa, pa := follower.AppliedSeq(), primary.AppliedSeq(); fa != pa {
+		t.Fatalf("follower applied %d, primary %d", fa, pa)
+	}
+	if fd, pd := follower.GridDigest(), primary.GridDigest(); fd != pd {
+		t.Fatalf("digest mismatch after bootstrap: %s vs %s", fd, pd)
+	}
+	if repl.Stats().Snapshots != 1 {
+		t.Fatalf("snapshots = %d, want 1", repl.Stats().Snapshots)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "follower.log.snap")); err != nil {
+		t.Fatalf("bootstrap snapshot not persisted: %v", err)
+	}
+	// The follower's WAL holds exactly the post-snapshot tail, byte-equal
+	// to the primary's.
+	primary.FlushWAL()
+	follower.FlushWAL()
+	p, _ := os.ReadFile(filepath.Join(dir, "primary.log"))
+	f, _ := os.ReadFile(filepath.Join(dir, "follower.log"))
+	if !bytes.Equal(p, f) {
+		t.Fatalf("post-bootstrap WALs differ: %d vs %d bytes", len(p), len(f))
+	}
+}
+
+// TestReplicationDivergenceDetected: a shipped digest that contradicts
+// the follower's own state at the same applied position is a broken
+// determinism contract — the replicator must stop permanently and latch
+// the daemon degraded, not shrug and keep pulling.
+func TestReplicationDivergenceDetected(t *testing.T) {
+	gcfg := DefaultConfig()
+	follower, err := NewDaemon(ServerConfig{Grid: gcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Stop()
+	lying := transport.HandlerFunc(func(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+		b, _ := json.Marshal(&ReplBatch{
+			Term:      1,
+			Applied:   0,
+			Digest:    "sha256:0000000000000000000000000000000000000000000000000000000000000000",
+			DigestSeq: 0, // matches the follower's applied position... with the wrong digest
+		})
+		return &transport.Response{ID: req.ID, Repl: b}, nil
+	})
+	repl, err := NewReplicator(follower, ReplicatorConfig{
+		ID:   "div",
+		Dial: func() (transport.Client, error) { return transport.NewLocal(lying), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Stop()
+
+	_, err = repl.Step(context.Background())
+	if err == nil {
+		t.Fatal("divergent digest accepted")
+	}
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("step error %v, want ErrDiverged", err)
+	}
+	if !retry.IsPermanent(err) {
+		t.Fatalf("divergence error not permanent: %v", err)
+	}
+	if !follower.degraded.Load() {
+		t.Fatal("divergence did not latch the daemon degraded")
+	}
+}
+
+// TestReplicationFencesStalePrimary: the first replication request
+// carrying a newer term demotes the old primary on the spot — shipping
+// rejected, local writes refused, HTTP mutations 503, /readyz "fenced".
+func TestReplicationFencesStalePrimary(t *testing.T) {
+	rig := newReplRig(t, ReplicatorConfig{ID: "f1"})
+	rig.drive(t, rig.script(3, 40))
+	rig.catchUp(t)
+
+	batch, err := rig.srv.pull(&ReplPull{ID: "new-primary-probe", Term: 9, After: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Reject != RejectFenced {
+		t.Fatalf("pull with newer term: reject %q, want %q", batch.Reject, RejectFenced)
+	}
+	if !rig.primary.Fenced() {
+		t.Fatal("primary not fenced after observing a newer term")
+	}
+	// Fenced primaries must not claim the newer term as their own.
+	if got := rig.primary.Term(); got != 1 {
+		t.Fatalf("fenced primary term %d, want 1 (terms belong to their winners)", got)
+	}
+	if _, err := rig.primary.ApplyEvent(eventlog.Event{Type: eventlog.Admit}); err == nil {
+		t.Fatal("fenced primary accepted a local write")
+	}
+	// Subsequent pulls, even with a matching term, stay rejected.
+	batch, err = rig.srv.pull(&ReplPull{ID: "f1", Term: 1, After: rig.follower.AppliedSeq()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Reject != RejectFenced {
+		t.Fatalf("post-fence pull: reject %q, want %q", batch.Reject, RejectFenced)
+	}
+
+	srv := httptest.NewServer(rig.primary.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/admit", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST to fenced primary: %d, want 503", resp.StatusCode)
+	}
+	if code, body := getStatus(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || body["reason"] != "fenced" {
+		t.Fatalf("fenced readyz: %d %v", code, body)
+	}
+	// Reads stay up for diagnosis.
+	if code, _ := getStatus(t, srv.URL+"/stats"); code != http.StatusOK {
+		t.Fatalf("GET /stats on fenced primary: %d", code)
+	}
+}
+
+// TestReplicationStaleFollowerAdoptsTerm: a follower pulling with an
+// old term is rejected once, adopts the primary's term from the
+// response, and succeeds on the retry.
+func TestReplicationStaleFollowerAdoptsTerm(t *testing.T) {
+	dir := t.TempDir()
+	gcfg := DefaultConfig()
+	if err := saveTerm(filepath.Join(dir, "primary.log.term"), 5); err != nil {
+		t.Fatal(err)
+	}
+	primary, err := NewDaemon(ServerConfig{Grid: gcfg, LogPath: filepath.Join(dir, "primary.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Stop()
+	if primary.Term() != 5 {
+		t.Fatalf("primary term %d, want 5 from disk", primary.Term())
+	}
+	srv, err := NewReplServer(primary, ReplConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, e := range Script(9, gcfg.MachCap, 30) {
+		if _, err := primary.ApplyEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	follower, err := NewDaemon(ServerConfig{Grid: gcfg, LogPath: filepath.Join(dir, "follower.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Stop()
+	repl, err := NewReplicator(follower, ReplicatorConfig{
+		ID:   "stale",
+		Dial: func() (transport.Client, error) { return transport.NewLocal(srv), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Stop()
+
+	ctx := context.Background()
+	_, err = repl.Step(ctx)
+	if err == nil || !strings.Contains(err.Error(), RejectStaleTerm) {
+		t.Fatalf("first stale pull: %v, want %s rejection", err, RejectStaleTerm)
+	}
+	if follower.Term() != 5 {
+		t.Fatalf("follower term %d after rejection, want adopted 5", follower.Term())
+	}
+	if n, err := repl.Step(ctx); err != nil || n == 0 {
+		t.Fatalf("post-adoption pull: n=%d err=%v", n, err)
+	}
+}
+
+// TestPromoteOverHTTP: POST /promote flips a follower to primary with a
+// bumped, persisted term; writes start flowing and the old primary's
+// shipments are rejected as stale.
+func TestPromoteOverHTTP(t *testing.T) {
+	rig := newReplRig(t, ReplicatorConfig{ID: "f1"})
+	rig.drive(t, rig.script(4, 60))
+	rig.catchUp(t)
+
+	fsrv := httptest.NewServer(rig.follower.Handler())
+	defer fsrv.Close()
+
+	// A follower refuses direct writes...
+	resp, err := http.Post(fsrv.URL+"/admit", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /admit on follower: %d, want 503", resp.StatusCode)
+	}
+
+	// ...until promoted.
+	resp, err = http.Post(fsrv.URL+"/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct {
+		Role string `json:"role"`
+		Term uint64 `json:"term"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.Role != "primary" || pr.Term != 2 {
+		t.Fatalf("promote: %d %+v, want 200 primary term 2", resp.StatusCode, pr)
+	}
+	if got, _ := loadTerm(rig.fLog + ".term"); got != 2 {
+		t.Fatalf("persisted term %d, want 2", got)
+	}
+
+	resp, err = http.Post(fsrv.URL+"/admit", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /admit after promotion: %d, want 200", resp.StatusCode)
+	}
+
+	// Promoting a node that was never a follower is a 409.
+	psrv := httptest.NewServer(rig.primary.Handler())
+	defer psrv.Close()
+	resp, err = http.Post(psrv.URL+"/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote on a primary: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestReadyzFollowerReasons: a follower is "catching-up" before its
+// first convergence and "replica-lag" when it falls behind the lag
+// budget afterwards; in between it is ready and names its role.
+func TestReadyzFollowerReasons(t *testing.T) {
+	rig := newReplRig(t, ReplicatorConfig{ID: "f1", Batch: 1, MaxLag: 2})
+	srv := httptest.NewServer(rig.follower.Handler())
+	defer srv.Close()
+
+	script := rig.script(5, 50)
+	rig.drive(t, script[:30])
+	if code, body := getStatus(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || body["reason"] != "catching-up" {
+		t.Fatalf("fresh follower readyz: %d %v, want 503 catching-up", code, body)
+	}
+	rig.catchUp(t)
+	if code, body := getStatus(t, srv.URL+"/readyz"); code != http.StatusOK || body["role"] != "follower" {
+		t.Fatalf("caught-up follower readyz: %d %v", code, body)
+	}
+
+	// Fall behind: 20 new events, one pulled (Batch 1) → lag 19 > 2.
+	rig.drive(t, script[30:])
+	if _, err := rig.repl.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, body := getStatus(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || body["reason"] != "replica-lag" {
+		t.Fatalf("lagging follower readyz: %d %v, want 503 replica-lag", code, body)
+	}
+	if lag, ok := body["lag"].(float64); !ok || lag <= 2 {
+		t.Fatalf("replica-lag body lag = %v, want > 2", body["lag"])
+	}
+	rig.catchUp(t)
+	if code, _ := getStatus(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after re-catching up: %d", code)
+	}
+}
+
+// TestReplicatorRunLoopConverges: the background pull loop converges
+// against a concurrently-written primary and shuts down cleanly
+// (exercised under -race by CI).
+func TestReplicatorRunLoopConverges(t *testing.T) {
+	rig := newReplRig(t, ReplicatorConfig{ID: "run", Poll: time.Millisecond, Batch: 16})
+	rig.repl.Run()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, e := range Script(11, rig.primary.cfg.Grid.MachCap, 300) {
+			if _, err := rig.primary.ApplyEvent(e); err != nil {
+				t.Errorf("primary apply: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if rig.follower.AppliedSeq() == rig.primary.AppliedSeq() && rig.follower.ReplicaLag() == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rig.repl.Stop()
+	if fa, pa := rig.follower.AppliedSeq(), rig.primary.AppliedSeq(); fa != pa {
+		t.Fatalf("run loop never converged: follower %d, primary %d", fa, pa)
+	}
+	if fd, pd := rig.follower.GridDigest(), rig.primary.GridDigest(); fd != pd {
+		t.Fatalf("digest mismatch after run loop: %s vs %s", fd, pd)
+	}
+}
+
+// TestReplicationOverTCP: the same protocol across a real socket — the
+// wire format, not just the in-process shortcut.
+func TestReplicationOverTCP(t *testing.T) {
+	rig := newReplRigTCP(t)
+	rig.drive(t, rig.script(12, 80))
+	rig.catchUp(t)
+	if fd, pd := rig.follower.GridDigest(), rig.primary.GridDigest(); fd != pd {
+		t.Fatalf("digest mismatch over TCP: %s vs %s", fd, pd)
+	}
+}
+
+func newReplRigTCP(t *testing.T) *replRig {
+	t.Helper()
+	dir := t.TempDir()
+	gcfg := DefaultConfig()
+	gcfg.Seed = 42
+	rig := &replRig{
+		pLog: filepath.Join(dir, "primary.log"),
+		fLog: filepath.Join(dir, "follower.log"),
+	}
+	var err error
+	rig.primary, err = NewDaemon(ServerConfig{Grid: gcfg, LogPath: rig.pLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rig.primary.Stop() })
+	rig.srv, err = NewReplServer(rig.primary, ReplConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rig.srv.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsrv := transport.NewServer(rig.srv)
+	go tsrv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		tsrv.Shutdown(ctx)
+	})
+	rig.follower, err = NewDaemon(ServerConfig{Grid: gcfg, LogPath: rig.fLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rig.follower.Stop() })
+	rig.repl, err = NewReplicator(rig.follower, ReplicatorConfig{
+		ID:      "tcp",
+		Primary: ln.Addr().String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rig.repl.Stop)
+	return rig
+}
+
+// TestReplPullAheadRejected: a puller claiming more applied events than
+// the primary has is irreconcilable — reject, don't ship.
+func TestReplPullAheadRejected(t *testing.T) {
+	rig := newReplRig(t, ReplicatorConfig{ID: "f1"})
+	rig.drive(t, rig.script(13, 10))
+	batch, err := rig.srv.pull(&ReplPull{ID: "ahead", Term: 1, After: rig.primary.AppliedSeq() + 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Reject != RejectAhead {
+		t.Fatalf("ahead pull reject %q, want %q", batch.Reject, RejectAhead)
+	}
+}

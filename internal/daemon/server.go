@@ -66,6 +66,9 @@ type ServerConfig struct {
 	// RequestTimeout bounds each handler's wall time; requests past it
 	// get 503 (0 = unbounded).
 	RequestTimeout time.Duration `json:"request_timeout,omitempty"`
+	// TermPath persists the replication fencing term (see repl.go);
+	// empty defaults to LogPath+".term" when a WAL is configured.
+	TermPath string `json:"term_path,omitempty"`
 }
 
 // Daemon wraps a Grid with the HTTP API, the write-ahead event log and
@@ -105,6 +108,23 @@ type Daemon struct {
 	rej429    atomic.Uint64
 	rej503    atomic.Uint64
 	walErrors atomic.Uint64
+
+	// Replication state (repl.go / replicator.go). The term is the
+	// fencing epoch: it only moves forward, and persists before any role
+	// change that claims it. fenced latches once a higher term is
+	// observed — this node has been superseded and refuses writes.
+	role       atomic.Int32
+	term       atomic.Uint64
+	termPath   string
+	fenced     atomic.Bool
+	fencedBy   atomic.Uint64
+	replLag    atomic.Uint64
+	replCaught atomic.Bool
+	replMaxLag atomic.Uint64
+	digests    *digestRing // under mu; nil until EnableReplication
+
+	promoteMu sync.Mutex
+	promoteFn func() (uint64, error)
 }
 
 // NewDaemon builds a daemon around a fresh grid.
@@ -142,6 +162,22 @@ func NewDaemonWith(g *Grid, cfg ServerConfig) (*Daemon, error) {
 		d.walFile = f
 		d.wal = eventlog.NewWriterAt(f, g.Applied())
 	}
+	d.termPath = cfg.TermPath
+	if d.termPath == "" && cfg.LogPath != "" {
+		d.termPath = cfg.LogPath + ".term"
+	}
+	term := uint64(1)
+	if d.termPath != "" {
+		t, err := loadTerm(d.termPath)
+		if err != nil {
+			return nil, err
+		}
+		if t > term {
+			term = t
+		}
+	}
+	d.term.Store(term)
+	d.replCaught.Store(true)
 	// A constructed daemon sits past snapshot restore and WAL replay, so
 	// it is ready by default; serve loops that expose the listener before
 	// recovery (cmd/gridd) flip readiness themselves via SetReady.
@@ -183,6 +219,9 @@ func (d *Daemon) Start() {
 			case <-d.stop:
 				return
 			case <-admitC:
+				if d.role.Load() == roleFollower || d.fenced.Load() {
+					continue // admissions replicate from the primary
+				}
 				d.mu.Lock()
 				if _, pending, _ := d.g.Live(); pending > 0 {
 					d.applyLocked(eventlog.Event{Type: eventlog.Admit})
@@ -276,6 +315,13 @@ func (d *Daemon) applyLocked(e eventlog.Event) (eventlog.Event, error) {
 	if d.closed {
 		return e, errors.New("daemon: stopped")
 	}
+	if d.fenced.Load() {
+		return e, fmt.Errorf("daemon: fenced by term %d: a newer primary owns the log; this node is read-only",
+			d.fencedBy.Load())
+	}
+	if d.role.Load() == roleFollower {
+		return e, errors.New("daemon: follower: writes arrive via replication (POST /promote to take over)")
+	}
 	e.Seq = 0 // stamped below; clients cannot pick sequence numbers
 	e.T = time.Since(d.started).Seconds()
 	if d.wal != nil {
@@ -296,6 +342,7 @@ func (d *Daemon) applyLocked(e eventlog.Event) (eventlog.Event, error) {
 			return e, fmt.Errorf("daemon: event %d applied but not persisted: %w", e.Seq, err)
 		}
 	}
+	d.recordDigestLocked()
 	switch e.Type {
 	case eventlog.Submit:
 		d.submitAt[e.Job] = time.Now()
@@ -361,6 +408,9 @@ func (d *Daemon) Handler() http.Handler {
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /healthz", d.handleHealthz)
 	outer.HandleFunc("GET /readyz", d.handleReadyz)
+	// Promotion also bypasses the gate: it is exactly the request a
+	// follower (whose mutations the gate refuses) must accept.
+	outer.HandleFunc("POST /promote", d.handlePromote)
 	outer.Handle("/", gated)
 	return outer
 }
@@ -373,30 +423,48 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"applied":  d.g.Applied(),
 		"degraded": d.degraded.Load(),
 		"draining": d.draining.Load(),
+		"role":     d.Role(),
+		"term":     d.term.Load(),
 	})
 }
 
 // handleReadyz reports whether the daemon should receive traffic: 503
 // with a machine-readable reason while draining, while the degraded
-// latch is set (state failed verification after a panic), or before
-// recovery (snapshot restore + WAL replay) has finished.
+// latch is set (state failed verification after a panic), after being
+// fenced by a newer-term primary, before recovery (snapshot restore +
+// WAL replay) has finished, or — on a follower — before the first
+// catch-up ("catching-up") or while trailing the primary beyond the
+// configured lag budget ("replica-lag").
 func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	follower := d.role.Load() == roleFollower
+	lag := d.replLag.Load()
+	maxLag := d.replMaxLag.Load()
 	reason := ""
 	switch {
 	case d.draining.Load():
 		reason = "draining"
 	case d.degraded.Load():
 		reason = "degraded"
+	case d.fenced.Load():
+		reason = "fenced"
 	case !d.ready.Load():
 		reason = "recovering"
+	case follower && !d.replCaught.Load():
+		reason = "catching-up"
+	case follower && maxLag > 0 && lag > maxLag:
+		reason = "replica-lag"
 	}
 	if reason != "" {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": reason})
+		body := map[string]any{"status": "unready", "reason": reason}
+		if reason == "catching-up" || reason == "replica-lag" {
+			body["lag"] = lag
+		}
+		json.NewEncoder(w).Encode(body)
 		return
 	}
-	writeJSON(w, map[string]string{"status": "ready"})
+	writeJSON(w, map[string]any{"status": "ready", "role": d.Role()})
 }
 
 // RecoveringHandler answers health probes before the daemon exists: the
@@ -439,6 +507,20 @@ func (d *Daemon) gate(next http.Handler) http.Handler {
 			httpError(w, http.StatusServiceUnavailable,
 				"daemon degraded: state failed verification after a panic; restart to rebuild from the log")
 			return
+		}
+		if r.Method != http.MethodGet {
+			if d.fenced.Load() {
+				d.rej503.Add(1)
+				httpError(w, http.StatusServiceUnavailable,
+					"daemon fenced: superseded by a term-%d primary; this node is read-only", d.fencedBy.Load())
+				return
+			}
+			if d.role.Load() == roleFollower {
+				d.rej503.Add(1)
+				httpError(w, http.StatusServiceUnavailable,
+					"daemon is a replication follower: send writes to the primary (or POST /promote to take over)")
+				return
+			}
 		}
 		d.reqMu.RLock()
 		defer d.reqMu.RUnlock()
@@ -738,6 +820,12 @@ type Stats struct {
 	Rejected503 uint64 `json:"rejected_503"`
 	WALErrors   uint64 `json:"wal_errors"`
 	Degraded    bool   `json:"degraded"`
+
+	// Replication observability.
+	Role       string `json:"role"`
+	Term       uint64 `json:"term"`
+	Fenced     bool   `json:"fenced,omitempty"`
+	ReplicaLag uint64 `json:"replica_lag,omitempty"`
 }
 
 // LatStats summarises a wall-clock sample set in milliseconds.
@@ -795,6 +883,11 @@ func (d *Daemon) StatsNow() Stats {
 		Rejected503: d.rej503.Load(),
 		WALErrors:   d.walErrors.Load(),
 		Degraded:    d.degraded.Load(),
+
+		Role:       d.Role(),
+		Term:       d.term.Load(),
+		Fenced:     d.fenced.Load(),
+		ReplicaLag: d.replLag.Load(),
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"strconv"
 	"time"
 
@@ -98,6 +99,14 @@ func Permanent(err error) error {
 	return &permanentError{err: err}
 }
 
+// IsPermanent reports whether err (anywhere in its chain) was marked by
+// Permanent. Callers running their own retry loops instead of Do use it
+// to honour the same give-up signal.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
 // afterError carries a server-advertised delay (Retry-After) alongside a
 // retryable error.
 type afterError struct {
@@ -119,18 +128,48 @@ func After(err error, wait time.Duration) error {
 	return &afterError{err: err, after: wait}
 }
 
-// ParseRetryAfter parses the integer-seconds form of a Retry-After
-// header. The HTTP-date form is not used by any server in this module
-// and reports ok=false like an absent header.
+// maxRetryAfterDate caps waits derived from the HTTP-date form of
+// Retry-After. A date far in the future is overwhelmingly clock skew or
+// a misconfigured server rather than a genuine "come back in a week" —
+// honouring it literally would park a client forever on bad input the
+// integer form could never produce (policies cap that via Policy.Max,
+// which also applies on top of this).
+const maxRetryAfterDate = time.Hour
+
+// ParseRetryAfter parses a Retry-After header in either standard form:
+// integer seconds, or an HTTP-date (RFC 1123 and the obsolete RFC 850 /
+// ANSI C formats, per RFC 9110). A date in the past — the server wants
+// an immediate retry, or clocks are skewed the other way — reports
+// (0, true); a date unreasonably far in the future is clamped to
+// maxRetryAfterDate. Malformed values report ok=false like an absent
+// header, leaving the caller on its computed backoff.
 func ParseRetryAfter(header string) (time.Duration, bool) {
+	return parseRetryAfterAt(header, time.Now())
+}
+
+// parseRetryAfterAt is ParseRetryAfter against an injected clock.
+func parseRetryAfterAt(header string, now time.Time) (time.Duration, bool) {
 	if header == "" {
 		return 0, false
 	}
-	s, err := strconv.Atoi(header)
-	if err != nil || s < 0 {
+	if s, err := strconv.Atoi(header); err == nil {
+		if s < 0 {
+			return 0, false
+		}
+		return time.Duration(s) * time.Second, true
+	}
+	t, err := http.ParseTime(header)
+	if err != nil {
 		return 0, false
 	}
-	return time.Duration(s) * time.Second, true
+	d := t.Sub(now)
+	if d < 0 {
+		return 0, true
+	}
+	if d > maxRetryAfterDate {
+		return maxRetryAfterDate, true
+	}
+	return d, true
 }
 
 // jitterSchedule returns the jittered waits the policy's seeded stream

@@ -232,6 +232,37 @@ func TestParseRetryAfter(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfterHTTPDate pins the HTTP-date form against a fixed
+// clock: all three RFC 9110 formats, past dates (immediate retry),
+// clock-skew clamping, and malformed near-dates.
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"rfc1123", "Sat, 08 Aug 2026 12:00:30 GMT", 30 * time.Second, true},
+		{"rfc850", "Saturday, 08-Aug-26 12:05:00 GMT", 5 * time.Minute, true},
+		{"ansi-c", "Sat Aug  8 12:00:10 2026", 10 * time.Second, true},
+		{"past date", "Sat, 08 Aug 2026 11:59:00 GMT", 0, true},
+		{"far past", "Mon, 02 Jan 2006 15:04:05 GMT", 0, true},
+		{"skew clamped", "Sun, 09 Aug 2026 12:00:00 GMT", maxRetryAfterDate, true},
+		{"exactly at cap", "Sat, 08 Aug 2026 13:00:00 GMT", time.Hour, true},
+		{"not a date", "next tuesday", 0, false},
+		{"truncated date", "Sat, 08 Aug 2026", 0, false},
+		{"wrong-zone date", "Sat, 08 Aug 2026 12:00:30 PST", 0, false},
+		{"empty", "", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfterAt(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("%s: parseRetryAfterAt(%q) = (%v, %v), want (%v, %v)", c.name, c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
 func ExamplePolicy_Do() {
 	calls := 0
 	p := Policy{MaxAttempts: 5, Initial: time.Microsecond, Jitter: -1}

@@ -29,15 +29,39 @@ type Conn struct {
 	closed  atomic.Bool
 }
 
-// Dial connects to an islandd worker.
+// keepAlivePeriod is the TCP keepalive probe interval on every dialed
+// and accepted transport connection. Coordinator↔worker and
+// primary↔follower links sit idle between rounds for unbounded time; a
+// half-open peer (yanked cable, frozen VM) would otherwise only be
+// noticed at the next write's timeout. 30s detects it within about a
+// minute without measurable probe traffic.
+const keepAlivePeriod = 30 * time.Second
+
+// enableKeepAlive turns on TCP keepalive probing for c, reporting
+// whether it took effect (false for non-TCP conns such as net.Pipe).
+func enableKeepAlive(c net.Conn) bool {
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		return false
+	}
+	if tc.SetKeepAlive(true) != nil {
+		return false
+	}
+	return tc.SetKeepAlivePeriod(keepAlivePeriod) == nil
+}
+
+// Dial connects to an islandd worker or a replication primary, with TCP
+// keepalives armed so a half-open peer is detected on idle links.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	c, err := net.DialTimeout("tcp", addr, timeout)
+	d := net.Dialer{Timeout: timeout, KeepAlive: keepAlivePeriod}
+	c, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	enableKeepAlive(c)
 	return NewConn(c), nil
 }
 
@@ -155,16 +179,71 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 }
 
 // Serve accepts connections until the listener closes, serving each on
-// its own goroutine. It returns the accept error (net.ErrClosed on a
-// clean shutdown).
+// its own goroutine with keepalives armed. It returns the accept error
+// (net.ErrClosed on a clean shutdown). For drain-on-shutdown semantics
+// use Server.
 func Serve(ln net.Listener, h Handler) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
+		enableKeepAlive(conn)
 		go ServeConn(conn, h)
 	}
+}
+
+// readRequest reads one framed request (header line + population
+// payload line). io.EOF before the header means the peer closed cleanly
+// between calls.
+func readRequest(br *bufio.Reader) (*Request, error) {
+	hdr, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	var req Request
+	if err := json.Unmarshal(hdr, &req); err != nil {
+		return nil, fmt.Errorf("transport: request header: %w", err)
+	}
+	payload, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	pops, err := ParsePops(payload)
+	if err != nil {
+		return nil, err
+	}
+	if req.Seg != nil {
+		req.Seg.Pop = pops
+	}
+	return &req, nil
+}
+
+// writeResponse frames and flushes one response, returning the reusable
+// payload scratch buffer.
+func writeResponse(bw *bufio.Writer, resp *Response, scratch []byte) ([]byte, error) {
+	hdrOut, err := json.Marshal(resp)
+	if err != nil {
+		return scratch, err
+	}
+	if _, err := bw.Write(hdrOut); err != nil {
+		return scratch, err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return scratch, err
+	}
+	if resp.Seg != nil {
+		scratch = AppendPops(scratch[:0], resp.Seg.Pop)
+	} else {
+		scratch = AppendPops(scratch[:0], nil)
+	}
+	if _, err := bw.Write(scratch); err != nil {
+		return scratch, err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return scratch, err
+	}
+	return scratch, bw.Flush()
 }
 
 // ServeConn answers requests on one connection until EOF or error. The
@@ -175,57 +254,21 @@ func ServeConn(conn net.Conn, h Handler) error {
 	bw := bufio.NewWriter(conn)
 	var scratch []byte
 	for {
-		hdr, err := readLine(br)
+		req, err := readRequest(br)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
-		var req Request
-		if err := json.Unmarshal(hdr, &req); err != nil {
-			return fmt.Errorf("transport: request header: %w", err)
-		}
-		payload, err := readLine(br)
-		if err != nil {
-			return err
-		}
-		pops, err := ParsePops(payload)
-		if err != nil {
-			return err
-		}
-		if req.Seg != nil {
-			req.Seg.Pop = pops
-		}
-		resp, herr := h.Handle(context.Background(), &req)
+		resp, herr := h.Handle(context.Background(), req)
 		if herr != nil {
 			resp = &Response{ID: req.ID, Err: herr.Error()}
 		}
 		if resp.ID == 0 {
 			resp.ID = req.ID
 		}
-		hdrOut, err := json.Marshal(resp)
-		if err != nil {
-			return err
-		}
-		if _, err := bw.Write(hdrOut); err != nil {
-			return err
-		}
-		if err := bw.WriteByte('\n'); err != nil {
-			return err
-		}
-		if resp.Seg != nil {
-			scratch = AppendPops(scratch[:0], resp.Seg.Pop)
-		} else {
-			scratch = AppendPops(scratch[:0], nil)
-		}
-		if _, err := bw.Write(scratch); err != nil {
-			return err
-		}
-		if err := bw.WriteByte('\n'); err != nil {
-			return err
-		}
-		if err := bw.Flush(); err != nil {
+		if scratch, err = writeResponse(bw, resp, scratch); err != nil {
 			return err
 		}
 	}

@@ -22,6 +22,7 @@ package transport
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"sync/atomic"
 
@@ -33,6 +34,13 @@ import (
 const (
 	KindPing    = "ping"
 	KindSegment = "segment"
+	// KindReplPull asks a replication primary for the WAL events after a
+	// sequence number; KindReplSnapshot bootstraps a follower too far
+	// behind for the log alone. Payloads ride Request.Repl/Response.Repl
+	// (schemas in internal/daemon), keeping this package free of daemon
+	// types.
+	KindReplPull     = "repl-pull"
+	KindReplSnapshot = "repl-snapshot"
 )
 
 // Errors shared by the transports.
@@ -77,6 +85,11 @@ type Request struct {
 	ID   uint64          `json:"id"`
 	Kind string          `json:"kind"`
 	Seg  *SegmentRequest `json:"seg,omitempty"`
+	// Repl carries the replication kinds' payload opaquely: the schemas
+	// live with their only producer/consumer (internal/daemon), so the
+	// transport stays a dumb pipe and adding a replication message never
+	// touches the framing.
+	Repl json.RawMessage `json:"repl,omitempty"`
 }
 
 // Response answers a Request. A non-empty Err is an application-level
@@ -84,9 +97,10 @@ type Request struct {
 // worker and deterministically cannot succeed, so callers must not
 // retry it.
 type Response struct {
-	ID  uint64           `json:"id"`
-	Err string           `json:"err,omitempty"`
-	Seg *SegmentResponse `json:"seg,omitempty"`
+	ID   uint64           `json:"id"`
+	Err  string           `json:"err,omitempty"`
+	Seg  *SegmentResponse `json:"seg,omitempty"`
+	Repl json.RawMessage  `json:"repl,omitempty"`
 }
 
 // Client is the coordinator's side of a worker connection. Calls on one
